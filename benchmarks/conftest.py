@@ -1,0 +1,27 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper table/figure through the
+experiment registry, timing a single full run (``rounds=1`` — these are
+multi-second cluster simulations, not microseconds) and asserting the
+paper's qualitative claims on the output.
+
+Set ``REPRO_BENCH_SCALE=tiny`` for a fast smoke pass or ``medium`` for
+closer structural statistics.
+"""
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SCALE
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,31 @@
+"""Benchmark regenerating Table 8 (mechanism ablation)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table8(benchmark, scale):
+    table = run_once(benchmark, run_experiment, "table8", scale=scale)
+
+    def spd(matrix, k, level):
+        for row in table.rows:
+            if row[0] == matrix and row[1] == k and row[2] == level:
+                return row[3]
+        raise KeyError((matrix, k, level))
+
+    # Cumulative mechanisms never hurt (allowing small window noise).
+    levels = ["RIG", "Filter", "Coalesce", "ConcNIC", "Switch"]
+    for matrix in ("arabic", "europe"):
+        for k in (1, 16, 128):
+            seq = [spd(matrix, k, lvl) for lvl in levels]
+            for a, b in zip(seq, seq[1:]):
+                assert b >= a * 0.9
+    # Paper claims: filtering is the big step for the denser arabic;
+    # for sparse europe the RIG offload alone captures most of the win.
+    assert spd("arabic", 16, "Filter") > 3 * spd("arabic", 16, "RIG")
+    assert spd("europe", 16, "RIG") > 0.5 * spd("europe", 16, "Coalesce")
+    # The full switch (cache + cross-node concat) is the top row.
+    assert spd("arabic", 16, "Switch") == max(
+        spd("arabic", 16, lvl) for lvl in levels
+    )

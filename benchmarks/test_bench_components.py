@@ -1,0 +1,98 @@
+"""Microbenchmarks of the core components (throughput numbers).
+
+These complement the experiment benchmarks with component-level rates:
+filter/coalesce throughput over idx streams, window concatenation,
+property-cache accesses, and the DES engine's event rate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.concat import window_concat
+from repro.core.filtering import filter_and_coalesce
+from repro.core.pcache import PropertyCache
+from repro.network import LeafSpine
+from repro.sim import Simulator, Store
+
+
+@pytest.fixture(scope="module")
+def idx_stream():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 100_000, size=1_000_000)
+
+
+def test_filter_coalesce_throughput(benchmark, idx_stream):
+    result = benchmark(
+        filter_and_coalesce, idx_stream,
+        n_units=16, batch_size=32 * 1024, inflight_window=4096,
+    )
+    assert result.n_issued > 0
+
+
+def test_window_concat_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    dests = rng.integers(0, 128, size=1_000_000)
+    stats = benchmark(window_concat, dests, 17, 128)
+    assert stats.n_prs == 1_000_000
+
+
+def test_property_cache_access_rate(benchmark):
+    rng = np.random.default_rng(2)
+    idxs = rng.integers(0, 50_000, size=100_000).tolist()
+
+    def run():
+        cache = PropertyCache(capacity_bytes=1 << 20, ways=16)
+        cache.configure(64)
+        hits = 0
+        for idx in idxs:
+            if cache.lookup(idx):
+                hits += 1
+            else:
+                cache.insert(idx)
+        return hits
+
+    hits = benchmark(run)
+    assert hits > 0
+
+
+def test_des_engine_event_rate(benchmark):
+    def run():
+        sim = Simulator()
+        store = Store(sim, capacity=64)
+
+        def producer():
+            for i in range(20_000):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(20_000):
+                yield store.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        return sim.events_dispatched
+
+    events = benchmark(run)
+    assert events > 40_000
+
+
+def test_route_cache_throughput(benchmark):
+    topo = LeafSpine()
+    pairs = [(s, d) for s in range(0, 128, 7) for d in range(128) if s != d]
+
+    def run():
+        return sum(len(topo.route(s, d)) for s, d in pairs)
+
+    hops = benchmark(run)
+    assert hops > 0
+
+
+def test_trace_build_throughput(benchmark):
+    from repro.partition import OneDPartition
+    from repro.sparse.suite import load_benchmark
+
+    mat = load_benchmark("queen", "small")
+    part = OneDPartition(mat, 128)
+    traces = benchmark(part.node_traces)
+    assert sum(t.n_nonzeros for t in traces) == mat.nnz

@@ -1,0 +1,77 @@
+"""Benchmarks regenerating the headline results: Figs 12-14, 19, Table 7."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig12(benchmark, scale):
+    table = run_once(benchmark, run_experiment, "fig12", scale=scale)
+    gmean = table.row_by("matrix", "gmean")
+    ns_gmean, sa_gmean = gmean[2], gmean[3]
+    # Paper: NetSparse 33x over SUOpt, 15x over SAOpt (gmean).  Same
+    # order of magnitude and the same ordering must hold.
+    assert 10 < ns_gmean < 120
+    assert ns_gmean > 5 * sa_gmean
+    # Speedups grow from K=1 to K=16 for every matrix (paper claim).
+    by_key = {(r[0], r[1]): r[2] for r in table.rows if r[0] != "gmean"}
+    for name in ("arabic", "europe", "queen", "stokes", "uk"):
+        assert by_key[(name, 16)] > by_key[(name, 1)]
+
+
+def test_table7(benchmark, scale):
+    table = run_once(benchmark, run_experiment, "table7", scale=scale)
+    fc = dict(zip(table.column("matrix"), table.column("F+C %")))
+    cache = dict(zip(table.column("matrix"), table.column("$hit %")))
+    trfc = dict(zip(table.column("matrix"), table.column("-trfc vs SU")))
+    # Paper shape: heavy F+C for arabic/queen/stokes, negligible for
+    # europe; cache helps web crawls, not europe/stokes; traffic
+    # reductions are tens-to-hundreds x.
+    assert fc["arabic"] > 80 and fc["queen"] > 70
+    assert fc["europe"] < 20
+    assert cache["europe"] < 15 and cache["stokes"] < 15
+    assert cache["arabic"] > cache["europe"]
+    assert all(t > 5 for t in trfc.values())
+    assert trfc["arabic"] > trfc["queen"]
+
+
+def test_fig13(benchmark, scale):
+    table = run_once(benchmark, run_experiment, "fig13", scale=scale)
+    g = table.row_by("matrix", "gmean")
+    su, sa, ns, ideal = g[2], g[3], g[4], g[5]
+    # Paper: 0.7x / 3x / 38x / 72x.  Orderings and magnitudes:
+    assert su < 5                       # software SU barely scales
+    assert su < sa < ns <= ideal
+    assert ns > 10                      # NetSparse enables real scaling
+    assert ideal < 128                  # compute imbalance caps scaling
+
+
+def test_fig14(benchmark, scale):
+    table = run_once(benchmark, run_experiment, "fig14", scale=scale)
+    sa = dict(zip(table.column("matrix"), table.column("SAOpt comm/comp")))
+    ns = dict(
+        zip(table.column("matrix"), table.column("NetSparse comm/comp"))
+    )
+    # SAOpt is communication-dominated everywhere; NetSparse brings the
+    # ratio near (or below) 1 for the cache/filter-friendly matrices.
+    assert all(sa[m] > 5 for m in sa)
+    assert all(ns[m] < sa[m] for m in ns)
+    assert ns["arabic"] < 3
+
+
+def test_fig19(benchmark, scale):
+    table = run_once(benchmark, run_experiment, "fig19", scale=scale)
+
+    def active_at_80(name):
+        rows = [r for r in table.rows if r[0] == name]
+        vals = [r[2] for r in rows if abs(r[1] - 0.8) < 0.06]
+        assert vals
+        return vals[0]
+
+    # Communication imbalance: for the hub-skewed web crawls, most
+    # nodes finish long before the tail (paper: a long low-activity
+    # tail for almost all matrices).
+    for name in ("arabic", "uk"):
+        assert active_at_80(name) < 64
+    # The regular banded queen stays balanced (paper's exception).
+    assert active_at_80("queen") > 96

@@ -1,0 +1,34 @@
+"""Benchmarks regenerating the hardware-overhead artifacts: Fig 20, Table 9."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig20(benchmark):
+    table = run_once(benchmark, run_experiment, "fig20")
+    by_name = {r[0]: r for r in table.rows}
+    total = by_name["TOTAL"]
+    # Paper: ~1.43 mm^2, ~2.1 W at max activity.
+    assert 1.0 < total[1] < 2.0
+    assert 1.0 < (total[2] + total[3]) / 1000 < 3.5
+    # L2s dominate area; RIG Units dominate dynamic power.
+    parts = {k: v for k, v in by_name.items() if k != "TOTAL"}
+    assert max(parts, key=lambda s: parts[s][1]) == "L2s"
+    assert max(parts, key=lambda s: parts[s][3]) == "RIG Units"
+
+
+def test_table9(benchmark):
+    table = run_once(benchmark, run_experiment, "table9")
+    shares = dict(zip(table.column("structure"), table.column("area %")))
+    assert max(shares, key=shares.get) == "Pend. PR Table"
+    assert 40 <= shares["Pend. PR Table"] <= 65
+    assert 97 <= sum(shares.values()) <= 103  # rounded percentages
+
+
+def test_switch_overheads(benchmark):
+    table = run_once(benchmark, run_experiment, "switch_overheads")
+    total = table.row_by("structure", "TOTAL")
+    # Paper: ~22.8 mm^2, ~10 W.
+    assert 15 < total[1] < 30
+    assert 5 < total[2] < 15

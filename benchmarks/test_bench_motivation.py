@@ -1,0 +1,54 @@
+"""Benchmarks regenerating the motivation artifacts: Tables 1-4, Fig 10."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table1(benchmark, scale):
+    table = run_once(benchmark, run_experiment, "table1", scale=scale)
+    su = dict(zip(table.column("matrix"), table.column("SU 1:X")))
+    sa = dict(zip(table.column("matrix"), table.column("SA 1:X")))
+    # SU redundancy is orders of magnitude for every matrix; the web
+    # crawls and europe are worst, queen/stokes least (paper ordering).
+    assert all(v > 10 for k, v in su.items())
+    assert su["arabic"] > su["queen"] and su["arabic"] > su["stokes"]
+    # SA redundancy: arabic reuses most, europe essentially none.
+    assert sa["arabic"] == max(sa.values())
+    assert sa["europe"] < 0.2
+
+
+def test_table2(benchmark, scale):
+    table = run_once(benchmark, run_experiment, "table2", scale=scale)
+    utils = table.column("line util %")
+    # The motivation claim: vanilla SA leaves >99% of the line idle.
+    assert all(u < 1.0 for u in utils)
+    rates = dict(zip(table.column("matrix"), table.column("rate Gbps")))
+    assert rates["europe"] < rates["arabic"]
+
+
+def test_table3(benchmark):
+    table = run_once(benchmark, run_experiment, "table3")
+    ours = table.column("header %")
+    paper = table.column("paper %")
+    for got, expect in zip(ours, paper):
+        assert abs(got - expect) < 3.0
+    assert ours == sorted(ours, reverse=True)
+
+
+def test_table4(benchmark, scale):
+    table = run_once(benchmark, run_experiment, "table4", scale=scale)
+    dests = dict(zip(table.column("matrix"), table.column("unique dests")))
+    assert dests["queen"] < 1.5                  # near-perfect locality
+    assert dests["queen"] == min(dests.values())
+    assert dests["europe"] > dests["stokes"]
+
+
+def test_fig10(benchmark):
+    table = run_once(benchmark, run_experiment, "fig10")
+    k16 = [(c, g) for k, c, g in table.rows if k == 16]
+    # Linear scaling with cores, ~10% at 64 cores, K=16.
+    assert k16[-1][0] == 64
+    assert 5 < k16[-1][1] < 20
+    goodputs = [g for _, g in k16]
+    assert goodputs == sorted(goodputs)

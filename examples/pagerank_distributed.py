@@ -1,0 +1,67 @@
+"""Distributed PageRank over the NetSparse communication layer.
+
+The paper motivates NetSparse with graph analytics (PageRank is cited
+directly).  This example runs real PageRank iterations on a synthetic
+web crawl using :func:`repro.cluster.distributed_spmv`: each
+iteration's SpMV pulls remote rank values through the same
+filter/coalesce decisions the hardware makes, so the numerics exercise
+the core correctness invariant (elimination never loses a property),
+while the cluster model reports what each iteration costs on the wire.
+
+Run:  python examples/pagerank_distributed.py
+"""
+
+import numpy as np
+
+from repro.cluster import distributed_spmv, simulate_netsparse
+from repro.config import NetSparseConfig
+from repro.network import LeafSpine
+from repro.sparse import COOMatrix, spmv
+from repro.sparse.suite import load_benchmark, scale_factor
+
+DAMPING = 0.85
+N_ITERATIONS = 5
+
+
+def main():
+    matrix = load_benchmark("uk", scale="tiny").with_random_values(seed=0)
+    n = matrix.n_rows
+    n_nodes = 16
+    config = NetSparseConfig(n_nodes=n_nodes, n_racks=4, nodes_per_rack=4)
+    topology = LeafSpine(n_racks=4, nodes_per_rack=4, n_spines=2)
+
+    # Column-normalize so the iteration is a proper PageRank operator.
+    col_sums = np.maximum(matrix.col_degrees(), 1).astype(float)
+    normalized = COOMatrix(
+        n, n, matrix.rows, matrix.cols,
+        np.ones(matrix.nnz) / col_sums[matrix.cols], "uk-norm",
+    )
+    sc = scale_factor("uk", matrix)
+
+    rank = np.full(n, 1.0 / n)
+    print(f"PageRank on {n:,} pages, {matrix.nnz:,} links, "
+          f"{n_nodes} nodes\n")
+    print(f"{'iter':>4s} {'delta':>10s} {'comm time':>11s} "
+          f"{'PRs issued':>11s} {'F+C':>6s} {'$hit':>6s}")
+    for it in range(N_ITERATIONS):
+        comm = simulate_netsparse(normalized, 1, config, topology, scale=sc)
+        run = distributed_spmv(normalized, rank, n_nodes, config)
+        new_rank = (1 - DAMPING) / n + DAMPING * run.output
+        delta = np.abs(new_rank - rank).sum()
+        rank = new_rank
+        print(f"{it:4d} {delta:10.2e} {comm.total_time * 1e6:8.2f} us "
+              f"{comm.n_prs_issued:11,} {comm.fc_rate:6.1%} "
+              f"{comm.cache_hit_rate:6.1%}")
+
+    # Cross-check the final vector against a single-node run.
+    check = np.full(n, 1.0 / n)
+    for _ in range(N_ITERATIONS):
+        check = (1 - DAMPING) / n + DAMPING * spmv(normalized, check)
+    np.testing.assert_allclose(rank, check, rtol=1e-10)
+    top = np.argsort(rank)[-5:][::-1]
+    print("\ndistributed result matches single-node reference")
+    print(f"top pages by rank: {top.tolist()}")
+
+
+if __name__ == "__main__":
+    main()

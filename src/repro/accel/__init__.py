@@ -1,0 +1,6 @@
+"""Per-node compute models: SPADE accelerators and server CPUs."""
+
+from repro.accel.spade import SpadeConfig, spmm_compute_time
+from repro.accel.cpu import CpuConfig, SPR_DDR, SPR_HBM
+
+__all__ = ["CpuConfig", "SPR_DDR", "SPR_HBM", "SpadeConfig", "spmm_compute_time"]

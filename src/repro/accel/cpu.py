@@ -1,0 +1,59 @@
+"""CPU compute models for the §9.6 study (Figure 21).
+
+The paper calibrates against two Intel Sapphire Rapids servers running
+MKL's inspector-executor SpMM: a 48-core DDR machine and a 56-core
+machine with HBM (bandwidth comparable to the SPADE model's 800 GB/s).
+We reuse the SPADE roofline with CPU parameters; ``utilization``
+reflects the measured efficiency of MKL relative to peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.spade import SpadeConfig
+
+__all__ = ["CpuConfig", "SPR_DDR", "SPR_HBM"]
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """A CPU node described in the same roofline vocabulary."""
+
+    name: str
+    cores: int
+    freq: float
+    flops_per_core_per_cycle: float
+    mem_bandwidth: float
+    utilization: float
+
+    def as_roofline(self) -> SpadeConfig:
+        """View the CPU as a SpadeConfig so the same kernels apply."""
+        return SpadeConfig(
+            n_pes=self.cores,
+            freq=self.freq,
+            flops_per_pe_per_cycle=self.flops_per_core_per_cycle,
+            mem_bandwidth=self.mem_bandwidth,
+            utilization=self.utilization,
+        )
+
+
+#: 48-core Sapphire Rapids with DDR5 (~300 GB/s).
+SPR_DDR = CpuConfig(
+    name="SPR+DDR",
+    cores=48,
+    freq=2.1e9,
+    flops_per_core_per_cycle=32.0,   # 2x AVX-512 FMA
+    mem_bandwidth=300e9,
+    utilization=0.35,                # sparse MKL efficiency
+)
+
+#: 56-core Sapphire Rapids Max with HBM2e (~800 GB/s usable).
+SPR_HBM = CpuConfig(
+    name="SPR+HBM",
+    cores=56,
+    freq=2.0e9,
+    flops_per_core_per_cycle=32.0,
+    mem_bandwidth=800e9,
+    utilization=0.35,
+)

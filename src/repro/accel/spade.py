@@ -1,0 +1,68 @@
+"""SPADE accelerator compute-time model (Table 5, §8.2).
+
+The paper integrates one SPADE accelerator (ISCA'23) per node: 128 PEs
+at 1 GHz with 64 GB of HBM at 800 GB/s.  For the end-to-end experiments
+(Figures 13, 14, 21) what matters is the relative magnitude of
+hardware-accelerated *compute* versus *communication* per node, so we
+model SPADE as a roofline:
+
+- compute bound: 2 FLOPs per nonzero per property element, across
+  ``n_pes`` MAC pipelines;
+- memory bound: streaming the nonzeros plus the property traffic that
+  misses on-chip reuse (unique input properties read once, outputs
+  written once).
+
+The same roofline with CPU parameters models the §9.6 CPU study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SpadeConfig", "spmm_compute_time"]
+
+#: Compressed nonzero storage: 4 B value + 4 B column index.
+BYTES_PER_NONZERO = 8
+
+
+@dataclass(frozen=True)
+class SpadeConfig:
+    """One node's SPADE accelerator (Table 5 defaults)."""
+
+    n_pes: int = 128
+    freq: float = 1.0e9
+    flops_per_pe_per_cycle: float = 8.0      # vector MAC lanes per PE
+    mem_bandwidth: float = 800e9             # HBM bytes/s
+    utilization: float = 0.7                 # achieved fraction of peak
+
+    @property
+    def peak_flops(self) -> float:
+        return self.n_pes * self.freq * self.flops_per_pe_per_cycle
+
+
+def spmm_compute_time(
+    nnz: int,
+    n_rows: int,
+    unique_cols: int,
+    k: int,
+    config: SpadeConfig = SpadeConfig(),
+) -> float:
+    """Roofline SpMM time for one partition of the matrix.
+
+    ``unique_cols`` is the number of distinct input properties the
+    partition touches (each streamed from memory once thanks to
+    on-chip tiling/reuse — SPADE's design goal).
+    """
+    if nnz < 0 or n_rows < 0 or unique_cols < 0:
+        raise ValueError("sizes must be nonnegative")
+    if k < 1:
+        raise ValueError("K must be >= 1")
+    flops = 2.0 * nnz * k
+    t_compute = flops / (config.peak_flops * config.utilization)
+    bytes_moved = (
+        nnz * BYTES_PER_NONZERO
+        + unique_cols * 4 * k        # input properties, read once
+        + n_rows * 4 * k * 2         # output properties, read+write
+    )
+    t_memory = bytes_moved / (config.mem_bandwidth * config.utilization)
+    return max(t_compute, t_memory)

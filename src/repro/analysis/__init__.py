@@ -1,0 +1,24 @@
+"""Workload characterization: the §3 motivation analyses as an API.
+
+Everything the paper measures about a sparse matrix before proposing
+hardware: transfer redundancy (Table 1), temporal remote destination
+locality (Table 4), intra-rack sharing potential (the "85% of PRs are
+useful to more than one node in the same group" claim), and working-set
+curves that size the Property Cache.
+"""
+
+from repro.analysis.traffic import (
+    RedundancyStats,
+    destination_locality,
+    rack_sharing_fraction,
+    transfer_redundancy,
+    working_set_sizes,
+)
+
+__all__ = [
+    "RedundancyStats",
+    "destination_locality",
+    "rack_sharing_fraction",
+    "transfer_redundancy",
+    "working_set_sizes",
+]

@@ -1,0 +1,24 @@
+"""Software communication baselines (§8.1).
+
+- :mod:`repro.baselines.su`       — *SUOpt*: sparsity-unaware collectives
+  at perfect line rate with zero header/software overhead.
+- :mod:`repro.baselines.saopt`    — *SAOpt*: sparsity-aware + Conveyors
+  batching, perfect offline per-rank filtering, calibrated per-PR
+  software costs; no network or SNIC latency.
+- :mod:`repro.baselines.vanilla`  — vanilla (un-batched) SA for the
+  motivation measurements (Table 2).
+- :mod:`repro.baselines.software` — the per-PR software cost model and
+  the Figure 10 goodput-vs-cores curve.
+"""
+
+from repro.baselines.su import simulate_suopt
+from repro.baselines.saopt import simulate_saopt
+from repro.baselines.vanilla import vanilla_sa_transfer
+from repro.baselines.software import saopt_goodput_curve
+
+__all__ = [
+    "saopt_goodput_curve",
+    "simulate_saopt",
+    "simulate_suopt",
+    "vanilla_sa_transfer",
+]

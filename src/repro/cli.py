@@ -1,0 +1,96 @@
+"""Command-line entry point.
+
+Usage::
+
+    netsparse list
+    netsparse run table1 [--scale small]
+    netsparse run all [--scale tiny]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, list_experiments, run_experiment
+
+__all__ = ["main"]
+
+
+def _run_with_scale(exp_id: str, scale: str):
+    """Pass --scale only to experiments that take it (hardware and
+    protocol experiments are scale-free)."""
+    import inspect
+
+    fn = EXPERIMENTS[exp_id]
+    if "scale" in inspect.signature(fn).parameters:
+        return run_experiment(exp_id, scale=scale)
+    return run_experiment(exp_id)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="netsparse",
+        description="NetSparse (MICRO 2025) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id, e.g. table1, fig12")
+    run.add_argument(
+        "--scale",
+        default="small",
+        choices=["tiny", "small", "medium"],
+        help="benchmark matrix scale (default: small)",
+    )
+    report = sub.add_parser(
+        "report", help="run the whole suite and write a markdown report"
+    )
+    report.add_argument("--scale", default="small",
+                        choices=["tiny", "small", "medium"])
+    report.add_argument("-o", "--output", default="report.md",
+                        help="output markdown path (default: report.md)")
+    report.add_argument("--only", nargs="*", default=None,
+                        help="restrict to these experiment ids")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for exp_id in list_experiments():
+            print(exp_id)
+        return 0
+
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        text = generate_report(
+            scale=args.scale,
+            experiments=args.only,
+            progress=lambda e, t: print(f"  {e}: {t:.1f}s", flush=True),
+        )
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+        return 0
+
+    targets = (
+        list_experiments() if args.experiment == "all" else [args.experiment]
+    )
+    for exp_id in targets:
+        t0 = time.time()
+        try:
+            table = _run_with_scale(exp_id, args.scale)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 1
+        print(table.format())
+        print(f"[{time.time() - t0:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

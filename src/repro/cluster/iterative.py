@@ -1,0 +1,108 @@
+"""Multi-iteration kernel execution (§2.1).
+
+Sparse kernels iterate: the output property array of one iteration
+becomes the input of the next, and in GNN-style applications the
+matrix itself changes between iterations (neighbour sampling).  Two
+consequences for NetSparse the single-shot model does not show:
+
+- the Idx Filter and the Property Caches must be reset every iteration
+  (the properties' *values* changed, so yesterday's cached property is
+  stale), which the paper's data-plane-updated cache makes cheap; and
+- per-iteration time varies with the sampled structure.
+
+This driver runs N iterations, resampling the matrix when asked, and
+aggregates timing/traffic statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import NetSparseConfig
+from repro.cluster.model import simulate_netsparse
+from repro.results import CommResult
+from repro.sparse.matrix import COOMatrix
+
+__all__ = ["IterativeResult", "run_iterations", "sample_matrix"]
+
+
+def sample_matrix(
+    matrix: COOMatrix, keep_fraction: float, seed: int
+) -> COOMatrix:
+    """GNN neighbour sampling: keep each nonzero with probability
+    ``keep_fraction`` (per-iteration edge sampling, §2.1's "the
+    structure of the sparse matrix may change")."""
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    if keep_fraction == 1.0:
+        return matrix
+    rng = np.random.default_rng(seed)
+    keep = rng.random(matrix.nnz) < keep_fraction
+    return COOMatrix(
+        matrix.n_rows, matrix.n_cols,
+        matrix.rows[keep], matrix.cols[keep],
+        matrix.vals[keep] if matrix.vals is not None else None,
+        f"{matrix.name}-sampled",
+    )
+
+
+@dataclass
+class IterativeResult:
+    """Aggregate of a multi-iteration run."""
+
+    per_iteration: List[CommResult]
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.per_iteration)
+
+    @property
+    def total_time(self) -> float:
+        return sum(r.total_time for r in self.per_iteration)
+
+    @property
+    def mean_time(self) -> float:
+        return self.total_time / max(self.n_iterations, 1)
+
+    @property
+    def time_cv(self) -> float:
+        """Coefficient of variation across iterations (sampling jitter)."""
+        times = np.array([r.total_time for r in self.per_iteration])
+        if times.size < 2 or times.mean() == 0:
+            return 0.0
+        return float(times.std() / times.mean())
+
+    @property
+    def total_wire_bytes(self) -> float:
+        return float(
+            sum(r.recv_wire_bytes.sum() for r in self.per_iteration)
+        )
+
+
+def run_iterations(
+    matrix: COOMatrix,
+    k: int,
+    n_iterations: int,
+    config: Optional[NetSparseConfig] = None,
+    topology=None,
+    sample_fraction: float = 1.0,
+    scale: float = 1.0,
+    rig_batch: Optional[int] = None,
+    seed: int = 0,
+) -> IterativeResult:
+    """Run ``n_iterations`` of a kernel, optionally edge-sampling the
+    matrix each iteration.  Filter/cache state resets per iteration
+    (fresh ``simulate_netsparse`` call — the §6.2 control-plane reset)."""
+    if n_iterations < 1:
+        raise ValueError("need at least one iteration")
+    results = []
+    for it in range(n_iterations):
+        it_matrix = sample_matrix(matrix, sample_fraction, seed + it)
+        results.append(
+            simulate_netsparse(it_matrix, k, config, topology,
+                               rig_batch=rig_batch, scale=scale)
+        )
+    return IterativeResult(per_iteration=results)

@@ -1,0 +1,445 @@
+"""The NetSparse cluster model: exact trace semantics + rate-limit timing.
+
+For one kernel iteration on an N-node cluster this model:
+
+1. 1D-partitions the matrix and builds every node's idx scan trace.
+2. Applies RIG batching + Idx-Filter/Pending-Table semantics exactly
+   (:func:`repro.core.filtering.filter_and_coalesce`) to decide which
+   remote idxs become wire PRs.
+3. Concatenates PR streams with the window model
+   (:func:`repro.core.concat.window_concat`) at the NIC and again at
+   the ToR switch (cross-node), producing per-flow wire bytes.
+4. Runs each rack's merged PR stream through an exact LRU Property
+   Cache with delayed insertion (a missing property only becomes
+   cacheable after its response returns).
+5. Derives time from the interacting rate limits: RIG command
+   dispatch/pipelining, concatenation-SRAM occupancy, host injection
+   and ejection ports, and fabric link drains — the same
+   throughput-bound idealization the paper applies to its baselines —
+   plus a zero-load RTT term.
+
+Scale note: window and in-flight parameters are expressed as fractions
+of the per-node stream so the behaviour is invariant under the matrix
+downscaling documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import NetSparseConfig
+from repro.core.concat import ConcatStats, window_concat
+from repro.core.filtering import filter_and_coalesce
+from repro.core.pcache import PropertyCache
+from repro.core.rig import rig_generation_time
+from repro.results import CommResult
+from repro.network.topology import Dragonfly, HyperX, LeafSpine, Topology
+from repro.partition import OneDPartition
+
+__all__ = ["build_cluster_topology", "simulate_netsparse", "NetSparseKnobs"]
+
+
+def build_cluster_topology(config: NetSparseConfig) -> Topology:
+    """The Table 5 / §9.6 cluster fabrics by name."""
+    if config.topology == "leafspine":
+        return LeafSpine(
+            n_racks=config.n_racks,
+            nodes_per_rack=config.nodes_per_rack,
+            n_spines=8,
+            link_bandwidth=config.link_bandwidth,
+        )
+    if config.topology == "hyperx":
+        return HyperX(shape=(4, 4, 2), hosts_per_switch=4, width=4,
+                      link_bandwidth=config.link_bandwidth)
+    if config.topology == "dragonfly":
+        return Dragonfly(n_groups=4, switches_per_group=8, hosts_per_switch=4,
+                         global_link_count=4,
+                         link_bandwidth=config.link_bandwidth)
+    raise ValueError(f"unknown topology {config.topology!r}")
+
+
+@dataclass(frozen=True)
+class NetSparseKnobs:
+    """Scale-invariant model knobs (fractions of per-node streams).
+
+    ``inflight_frac`` — how far (as a fraction of a node's remote-idx
+    stream) a PR stays outstanding before its response lands; governs
+    filtering vs coalescing.  ``cache_inflight_frac`` — the same for
+    the switch cache's delayed inserts.
+    """
+
+    inflight_frac: float = 0.03
+    cache_inflight_frac: float = 0.03
+
+
+class _DelayedInsertCache:
+    """Property Cache front-end with in-flight response modelling.
+
+    A read that misses triggers an insert only ``delay`` stream
+    positions later (its response's return).  Duplicate in-flight
+    misses both travel (the switch has no MSHR-style coalescing).
+    """
+
+    def __init__(self, cache: PropertyCache, delay: int):
+        self.cache = cache
+        self.delay = max(int(delay), 0)
+        self._pending: deque = deque()
+
+    def process(self, idxs: np.ndarray) -> np.ndarray:
+        hits = np.zeros(idxs.size, dtype=bool)
+        pending = self._pending
+        cache = self.cache
+        for i, idx in enumerate(idxs.tolist()):
+            while pending and pending[0][0] <= i:
+                cache.insert(pending.popleft()[1])
+            if cache.lookup(idx):
+                hits[i] = True
+            else:
+                pending.append((i + self.delay, idx))
+        while pending:
+            cache.insert(pending.popleft()[1])
+        return hits
+
+
+def _merge_rack_streams(
+    per_node: List[Tuple[np.ndarray, ...]], nodes: List[int]
+) -> Dict[str, np.ndarray]:
+    """Interleave node streams by per-node position (concurrent scan)."""
+    srcs, poss, idxs, owners = [], [], [], []
+    for node, (pos, idx, owner) in zip(nodes, per_node):
+        srcs.append(np.full(pos.size, node, dtype=np.int64))
+        poss.append(pos)
+        idxs.append(idx)
+        owners.append(owner)
+    src = np.concatenate(srcs) if srcs else np.zeros(0, dtype=np.int64)
+    pos = np.concatenate(poss) if poss else np.zeros(0, dtype=np.int64)
+    idx = np.concatenate(idxs) if idxs else np.zeros(0, dtype=np.int64)
+    owner = np.concatenate(owners) if owners else np.zeros(0, dtype=np.int64)
+    order = np.lexsort((src, pos))
+    return {"src": src[order], "pos": pos[order],
+            "idx": idx[order], "owner": owner[order]}
+
+
+def _concat_stage_bytes(
+    dests: np.ndarray,
+    payload: int,
+    config: NetSparseConfig,
+    window_prs: int,
+) -> Tuple[Dict[int, int], ConcatStats]:
+    """Per-destination wire bytes after one concatenation stage."""
+    maxp = config.max_prs_per_packet(payload)
+    stats = window_concat(dests, max_prs_per_packet=maxp, window_prs=window_prs)
+    byte_map = stats.wire_bytes_per_dest(
+        pr_payload=payload,
+        header_upper=config.header_upper,
+        header_concat=config.header_concat,
+        header_concat_solo=config.header_concat_solo,
+        header_pr=config.header_pr,
+    )
+    return byte_map, stats
+
+
+def _pr_rate(config: NetSparseConfig, payload: int, issue_frac: float) -> float:
+    """Aggregate PR rate through one node's concatenation point."""
+    scan = config.n_client_units * config.snic_freq * max(issue_frac, 1e-3)
+    resp_drain = config.link_bandwidth / (config.header_pr + payload)
+    return min(scan, resp_drain)
+
+
+def _concat_windows(
+    config: NetSparseConfig, payload: int, issue_frac: float
+) -> Tuple[int, int]:
+    """(NIC, switch) window sizes in PRs for the delay-queue model."""
+    rate = _pr_rate(config, payload, issue_frac)
+    nic_delay = config.concat_delay_cycles_nic / config.snic_freq
+    sw_delay = config.concat_delay_cycles_switch / config.switch_freq
+    w_nic = max(int(nic_delay * rate), 1)
+    # The switch sees the merged streams of the whole rack.
+    w_sw = max(int(sw_delay * rate * config.nodes_per_rack), 1)
+    return w_nic, w_sw
+
+
+def _concat_sram_rate_cap(
+    config: NetSparseConfig, payload: int
+) -> float:
+    """PRs/s one concatenation point can hold without exhausting its
+    SRAM while PRs wait out the delay (the Figure 17 falloff)."""
+    delay_s = config.concat_delay_cycles_nic / config.snic_freq
+    if delay_s <= 0:
+        return float("inf")
+    per_pr = config.header_pr + payload
+    return config.concat_sram_bytes / (delay_s * per_pr)
+
+
+def simulate_netsparse(
+    matrix,
+    k: int,
+    config: Optional[NetSparseConfig] = None,
+    topology: Optional[Topology] = None,
+    rig_batch: Optional[int] = None,
+    scale: float = 1.0,
+    knobs: NetSparseKnobs = NetSparseKnobs(),
+    partition: Optional[OneDPartition] = None,
+) -> CommResult:
+    """Simulate one iteration's communication under NetSparse.
+
+    ``rig_batch`` is in *paper-scale* nonzeros (the 8k/32k of §8.2);
+    ``scale`` is this matrix's nnz over the paper matrix's nnz (see
+    DESIGN.md).  Scale multiplies the quantities tied to absolute
+    matrix size — the batch, the per-command host overhead, and the
+    Property Cache capacity — so hit rates, batching tradeoffs and
+    speedup ratios survive the downscaling.  Scale-free quantities
+    (delay windows, link rates, headers) stay physical.
+
+    ``partition`` overrides the default equal-rows 1D partition (e.g.
+    :func:`repro.partition.balanced_by_nnz`).
+    """
+    config = config or NetSparseConfig()
+    topo = topology or build_cluster_topology(config)
+    n = config.n_nodes
+    feats = config.features
+    payload = config.property_bytes(k)
+    part = partition or OneDPartition(matrix, n)
+    if part.n_nodes != n:
+        raise ValueError("partition node count must match the config")
+    traces = part.node_traces()
+    if not 0.0 < scale:
+        raise ValueError("scale must be positive")
+    if rig_batch is None:
+        rig_batch = config.rig_batch_nonzeros
+    rig_batch = max(int(rig_batch * scale), 1)
+    cmd_overhead = config.rig_cmd_overhead * scale
+    pcache_bytes = int(config.pcache_bytes * scale)
+
+    # ---- stage 1: per-node filtering/coalescing ----------------------
+    node_streams = []            # (pos, idx, owner) of issued PRs per node
+    pr_gen_time = np.zeros(n)
+    useful_payload = np.zeros(n)
+    n_candidates = n_issued = n_filtered = n_coalesced = 0
+    for node, tr in enumerate(traces):
+        remote_idx = tr.remote_idxs
+        remote_owner = tr.remote_owners
+        remote_pos = np.nonzero(tr.remote)[0]
+        useful_payload[node] = np.unique(remote_idx).size * payload
+        n_candidates += remote_idx.size
+        if feats.rig_offload and remote_idx.size:
+            remote_frac = remote_idx.size / max(tr.n_nonzeros, 1)
+            batch_remote = max(int(rig_batch * remote_frac), 1)
+            window = max(int(knobs.inflight_frac * remote_idx.size), 1)
+            fr = filter_and_coalesce(
+                remote_idx,
+                n_units=config.n_client_units,
+                batch_size=batch_remote,
+                inflight_window=window,
+                enable_filtering=feats.filtering,
+                enable_coalescing=feats.coalescing,
+            )
+            mask = fr.issued_mask
+            n_filtered += fr.n_filtered
+            n_coalesced += fr.n_coalesced
+        else:
+            mask = np.ones(remote_idx.size, dtype=bool)
+        node_streams.append(
+            (remote_pos[mask], remote_idx[mask], remote_owner[mask])
+        )
+        n_issued += int(mask.sum())
+        pr_gen_time[node] = rig_generation_time(
+            tr.n_nonzeros,
+            config.n_client_units,
+            rig_batch,
+            freq=config.snic_freq,
+            cmd_overhead=cmd_overhead,
+        )
+
+    issue_frac = n_issued / max(n_candidates, 1)
+    w_nic, w_sw = _concat_windows(config, payload, issue_frac)
+    if not feats.concat_nic:
+        w_nic = 1
+    read_window_sw = w_sw if feats.concat_switch else 1
+
+    # ---- stage 2: per-rack cache + read traffic -----------------------
+    rack_of = np.array([topo.rack_of(i) for i in range(n)])
+    racks: Dict[int, List[int]] = {}
+    for node in range(n):
+        racks.setdefault(int(rack_of[node]), []).append(node)
+
+    up_bytes = np.zeros(n)
+    down_bytes = np.zeros(n)
+    fabric_loads = np.zeros(topo.n_links)
+    link_bw = np.array([l.bandwidth for l in topo.links])
+    n_packets_total = 0
+    cache_lookups = cache_hits = 0
+    miss_records = []            # surviving reads, to be served by owners
+
+    def _route_fabric(src: int, dst: int, nbytes: float) -> None:
+        route = topo.route(src, dst)
+        for lid in route[1:-1]:
+            fabric_loads[lid] += nbytes
+
+    for rack, members in sorted(racks.items()):
+        merged = _merge_rack_streams(
+            [node_streams[m] for m in members], members
+        )
+        m_src, m_pos = merged["src"], merged["pos"]
+        m_idx, m_owner = merged["idx"], merged["owner"]
+
+        # NIC-stage read bytes (host -> ToR) per member node.
+        for node in members:
+            pos, idx, owner = node_streams[node]
+            byte_map, stats = _concat_stage_bytes(owner, 0, config, w_nic)
+            up_bytes[node] += sum(byte_map.values())
+            if not feats.concat_switch:
+                n_packets_total += stats.n_packets
+
+        # Property Cache at the ToR middle pipes.
+        if feats.property_cache and m_idx.size:
+            pcache = PropertyCache(
+                capacity_bytes=pcache_bytes,
+                ways=config.pcache_ways,
+                n_segments=config.pcache_segments,
+                segment_bytes=config.pcache_min_line,
+            )
+            pcache.configure(max(payload, 1))
+            delay = max(int(knobs.cache_inflight_frac * m_idx.size), 1)
+            front = _DelayedInsertCache(pcache, delay)
+            hits = front.process(m_idx)
+            cache_lookups += int(m_idx.size)
+            cache_hits += int(hits.sum())
+        else:
+            hits = np.zeros(m_idx.size, dtype=bool)
+
+        # Cache-hit responses: generated at the ToR, delivered in-rack.
+        if hits.any():
+            hit_src = m_src[hits]
+            byte_map, stats = _concat_stage_bytes(
+                hit_src, payload, config, read_window_sw
+            )
+            for node_id, b in byte_map.items():
+                down_bytes[node_id] += b
+            n_packets_total += stats.n_packets
+
+        # Misses continue toward their owners (switch-stage concat).
+        miss = ~hits
+        if miss.any():
+            ms, mp = m_src[miss], m_pos[miss]
+            mi, mo = m_idx[miss], m_owner[miss]
+            byte_map, stats = _concat_stage_bytes(mo, 0, config, read_window_sw)
+            n_packets_total += stats.n_packets
+            # Distribute rack-stage bytes over (src, owner) flows by PR share.
+            pair_keys = ms * n + mo
+            uniq_pairs, pair_counts = np.unique(pair_keys, return_counts=True)
+            owner_totals = {
+                int(d): cnt for d, cnt in zip(*np.unique(mo, return_counts=True))
+            }
+            for key, cnt in zip(uniq_pairs.tolist(), pair_counts.tolist()):
+                s, d = divmod(key, n)
+                share = byte_map[d] * cnt / owner_totals[d]
+                _route_fabric(s, d, share)
+                down_bytes[d] += share
+            miss_records.append({"src": ms, "pos": mp, "idx": mi, "owner": mo})
+
+    # ---- stage 3: responses from owners -------------------------------
+    if miss_records:
+        all_src = np.concatenate([r["src"] for r in miss_records])
+        all_pos = np.concatenate([r["pos"] for r in miss_records])
+        all_owner = np.concatenate([r["owner"] for r in miss_records])
+    else:
+        all_src = all_pos = all_owner = np.zeros(0, dtype=np.int64)
+
+    served_per_node = np.zeros(n, dtype=np.int64)
+    resp_window_sw = w_sw if feats.concat_switch else 1
+    for rack, members in sorted(racks.items()):
+        # Responses produced by owners in this rack, merged at its ToR.
+        sel = np.isin(all_owner, members)
+        if not sel.any():
+            continue
+        r_src, r_pos, r_owner = all_src[sel], all_pos[sel], all_owner[sel]
+        order = np.lexsort((r_owner, r_pos))
+        r_src, r_pos, r_owner = r_src[order], r_pos[order], r_owner[order]
+
+        # NIC-stage response bytes per owner.
+        for owner in members:
+            osel = r_owner == owner
+            if not osel.any():
+                continue
+            served_per_node[owner] += int(osel.sum())
+            byte_map, stats = _concat_stage_bytes(
+                r_src[osel], payload, config, w_nic
+            )
+            up_bytes[owner] += sum(byte_map.values())
+            if not feats.concat_switch:
+                n_packets_total += stats.n_packets
+
+        # Switch-stage response bytes toward each requester.
+        byte_map, stats = _concat_stage_bytes(
+            r_src, payload, config, resp_window_sw
+        )
+        n_packets_total += stats.n_packets
+        pair_keys = r_owner * n + r_src
+        uniq_pairs, pair_counts = np.unique(pair_keys, return_counts=True)
+        dest_totals = {
+            int(d): cnt for d, cnt in zip(*np.unique(r_src, return_counts=True))
+        }
+        for key, cnt in zip(uniq_pairs.tolist(), pair_counts.tolist()):
+            o, s = divmod(key, n)
+            share = byte_map[s] * cnt / dest_totals[s]
+            _route_fabric(o, s, share)
+            down_bytes[s] += share
+
+    # ---- stage 4: timing ----------------------------------------------
+    t_up = up_bytes / config.link_bandwidth
+    t_down = down_bytes / config.link_bandwidth
+    t_pcie = down_bytes / config.pcie_bandwidth
+    t_server = served_per_node / (
+        (config.n_rig_units - config.n_client_units) * config.snic_freq
+    )
+    per_node_prs = np.array(
+        [node_streams[i][0].size for i in range(n)], dtype=np.float64
+    )
+    if feats.concat_nic:
+        cap = _concat_sram_rate_cap(config, payload)
+        t_concat = per_node_prs / cap
+        drain = config.concat_delay_cycles_nic / config.snic_freq
+    else:
+        t_concat = np.zeros(n)
+        drain = 0.0
+    per_node_time = np.maximum.reduce(
+        [pr_gen_time, t_up, t_down, t_pcie, t_server, t_concat]
+    )
+    fabric_time = float((fabric_loads / link_bw).max()) if topo.n_links else 0.0
+    # Fixed latencies scale with the matrix downscaling like every other
+    # absolute time constant (DESIGN.md §5) — at paper scale they are
+    # negligible against millisecond totals, and must stay negligible.
+    rtt = topo.rtt(0, n - 1) * scale
+    total_time = max(float(per_node_time.max()), fabric_time) + rtt + drain * scale
+
+    return CommResult(
+        scheme="netsparse",
+        matrix_name=matrix.name,
+        k=k,
+        n_nodes=n,
+        total_time=total_time,
+        per_node_time=per_node_time,
+        recv_wire_bytes=down_bytes,
+        sent_wire_bytes=up_bytes,
+        useful_payload_bytes=useful_payload,
+        link_bandwidth=config.link_bandwidth,
+        n_pr_candidates=n_candidates,
+        n_prs_issued=n_issued,
+        n_filtered=n_filtered,
+        n_coalesced=n_coalesced,
+        n_packets=n_packets_total,
+        cache_lookups=cache_lookups,
+        cache_hits=cache_hits,
+        pr_gen_time=pr_gen_time,
+        extras={
+            "fabric_time": fabric_time,
+            "rig_batch": rig_batch,
+            "window_nic": w_nic,
+            "window_switch": w_sw,
+        },
+    )

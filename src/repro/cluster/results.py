@@ -1,0 +1,7 @@
+"""Compatibility shim: :class:`CommResult` lives in :mod:`repro.results`
+(a neutral module, so baselines and the cluster package can both import
+it without a cycle)."""
+
+from repro.results import CommResult
+
+__all__ = ["CommResult"]

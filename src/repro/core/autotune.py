@@ -1,0 +1,79 @@
+"""Dynamic RIG-batch-size selection (§9.4 future work).
+
+The paper observes that its statically chosen batch sizes are often
+non-optimal and proposes dynamically adjusting them.  This module
+implements the natural online scheme: probe a log-spaced ladder of
+batch sizes with the cluster model (standing in for a short warm-up
+iteration on real hardware), then hill-climb around the best probe.
+
+The result feeds the ``autotune`` experiment, which quantifies how much
+of the Figure 15 spread the controller recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence
+
+__all__ = ["TuneResult", "tune_rig_batch"]
+
+
+@dataclass
+class TuneResult:
+    """Outcome of a batch-size search."""
+
+    best_batch: int
+    best_time: float
+    probes: Dict[int, float] = field(default_factory=dict)
+    n_evaluations: int = 0
+
+    def speedup_over(self, batch: int) -> float:
+        """How much the tuned batch beats a given static choice."""
+        if batch not in self.probes:
+            raise KeyError(f"batch {batch} was never evaluated")
+        return self.probes[batch] / self.best_time
+
+
+def tune_rig_batch(
+    evaluate: Callable[[int], float],
+    ladder: Optional[Sequence[int]] = None,
+    refine_steps: int = 2,
+    min_batch: int = 256,
+    max_batch: int = 4 * 1024 * 1024,
+) -> TuneResult:
+    """Search batch sizes minimizing ``evaluate(batch) -> time``.
+
+    ``ladder`` defaults to powers of four from 1k to 1M (six probes —
+    cheap enough to amortize over a long kernel).  ``refine_steps``
+    rounds of neighbour probing (x/÷2) then polish the winner.
+    """
+    if ladder is None:
+        ladder = [1 << b for b in range(10, 21, 2)]   # 1k .. 1M
+    ladder = sorted(set(int(b) for b in ladder))
+    if not ladder or ladder[0] < 1:
+        raise ValueError("ladder must contain positive batch sizes")
+
+    probes: Dict[int, float] = {}
+
+    def probe(batch: int) -> float:
+        batch = int(min(max(batch, min_batch), max_batch))
+        if batch not in probes:
+            probes[batch] = evaluate(batch)
+        return probes[batch]
+
+    for batch in ladder:
+        probe(batch)
+    best = min(probes, key=probes.get)
+    for _ in range(refine_steps):
+        for candidate in (best // 2, best * 2):
+            probe(candidate)
+        new_best = min(probes, key=probes.get)
+        if new_best == best:
+            break
+        best = new_best
+    return TuneResult(
+        best_batch=best,
+        best_time=probes[best],
+        probes=dict(probes),
+        n_evaluations=len(probes),
+    )

@@ -1,0 +1,176 @@
+"""Virtualized Concatenation Queues (§7 "Scalability of the
+Concatenation Mechanism").
+
+The baseline design allocates one MTU-sized CQ per possible destination
+— SRAM grows with cluster size and utilization drops at large scale.
+The paper sketches the fix: a *fixed* pool of small sub-MTU "physical"
+CQs, dynamically assigned on demand; physical CQs holding PRs for the
+same destination are linked into a "virtual" CQ, which is flushed as
+one packet when its total occupancy reaches the MTU (or its delay
+expires).  When the pool is exhausted, the fullest virtual CQ is
+flushed early to free physical queues.
+
+This module implements that design as a drop-in alternative to
+:class:`repro.core.concat.DelayQueueConcatenator`, with occupancy and
+early-flush statistics so the SRAM-vs-goodput tradeoff can be measured
+(see the ``concat_virtualization`` experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim import Simulator
+
+__all__ = ["VirtualConcatenator"]
+
+
+@dataclass
+class _PhysicalCQ:
+    """A small fixed-capacity queue, linkable into a virtual CQ."""
+
+    capacity_prs: int
+    prs: List[Any] = field(default_factory=list)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.prs) >= self.capacity_prs
+
+
+@dataclass
+class _VirtualCQ:
+    """A chain of physical CQs holding one (type, destination) flow."""
+
+    key: Tuple[str, int]
+    chain: List[_PhysicalCQ] = field(default_factory=list)
+    generation: int = 0
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(p.prs) for p in self.chain)
+
+    def drain(self) -> List[Any]:
+        prs = [pr for p in self.chain for pr in p.prs]
+        freed = self.chain
+        self.chain = []
+        for p in freed:
+            p.prs = []
+        self.generation += 1
+        return prs, freed
+
+
+class VirtualConcatenator:
+    """Concatenation point with a fixed physical-CQ pool.
+
+    Parameters mirror the paper's sketch: ``n_physical`` sub-MTU queues
+    of ``physical_capacity_prs`` entries each, shared by *all*
+    destinations, so SRAM is independent of cluster size.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        max_prs_per_packet: int,
+        delay: float,
+        on_emit: Callable[[List[Any], int, str], None],
+        n_physical: int = 32,
+        physical_capacity_prs: int = 8,
+    ):
+        if max_prs_per_packet < 1:
+            raise ValueError("max_prs_per_packet must be >= 1")
+        if delay < 0:
+            raise ValueError("delay must be nonnegative")
+        if n_physical < 1 or physical_capacity_prs < 1:
+            raise ValueError("pool dimensions must be positive")
+        self.sim = sim
+        self.max_prs = max_prs_per_packet
+        self.delay = delay
+        self.on_emit = on_emit
+        self._free: List[_PhysicalCQ] = [
+            _PhysicalCQ(physical_capacity_prs) for _ in range(n_physical)
+        ]
+        self._virtual: Dict[Tuple[str, int], _VirtualCQ] = {}
+        self.stats_packets = 0
+        self.stats_prs = 0
+        self.stats_early_flushes = 0      # pool-pressure flushes
+        self.stats_peak_physical_in_use = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def physical_in_use(self) -> int:
+        return sum(len(v.chain) for v in self._virtual.values())
+
+    def _allocate(self) -> Optional[_PhysicalCQ]:
+        if self._free:
+            return self._free.pop()
+        return None
+
+    def _evict_for_space(self) -> None:
+        """Flush the fullest virtual CQ to free physical queues."""
+        victim = max(self._virtual.values(), key=lambda v: v.occupancy,
+                     default=None)
+        if victim is None or victim.occupancy == 0:
+            raise RuntimeError("physical CQ pool exhausted with no victim")
+        self.stats_early_flushes += 1
+        self._flush_virtual(victim)
+
+    # -- interface -----------------------------------------------------------
+
+    def push(self, pr: Any, dest: int, pr_type: str) -> None:
+        key = (pr_type, dest)
+        vcq = self._virtual.get(key)
+        if vcq is None:
+            vcq = _VirtualCQ(key)
+            self._virtual[key] = vcq
+        if not vcq.chain or vcq.chain[-1].is_full:
+            phys = self._allocate()
+            if phys is None:
+                self._evict_for_space()
+                phys = self._allocate()
+                if phys is None:
+                    raise RuntimeError("eviction freed no physical CQs")
+            vcq.chain.append(phys)
+        was_empty = vcq.occupancy == 0
+        vcq.chain[-1].prs.append(pr)
+        self.stats_peak_physical_in_use = max(
+            self.stats_peak_physical_in_use, self.physical_in_use
+        )
+        if was_empty and self.delay > 0 and self.max_prs > 1:
+            generation = vcq.generation
+            self.sim.call_at(
+                self.sim.now + self.delay,
+                lambda: self._expire(key, generation),
+            )
+        if vcq.occupancy >= self.max_prs:
+            self._flush_virtual(vcq)
+
+    def _expire(self, key: Tuple[str, int], generation: int) -> None:
+        vcq = self._virtual.get(key)
+        if vcq is None or vcq.generation != generation:
+            return
+        if vcq.occupancy:
+            self._flush_virtual(vcq)
+
+    def _flush_virtual(self, vcq: _VirtualCQ) -> None:
+        prs, freed = vcq.drain()
+        self._free.extend(freed)
+        pr_type, dest = vcq.key
+        # Respect the MTU: an over-full virtual CQ emits several packets.
+        for start in range(0, len(prs), self.max_prs):
+            chunk = prs[start:start + self.max_prs]
+            self.stats_packets += 1
+            self.stats_prs += len(chunk)
+            self.on_emit(chunk, dest, pr_type)
+
+    def flush(self) -> None:
+        for vcq in list(self._virtual.values()):
+            if vcq.occupancy:
+                self._flush_virtual(vcq)
+
+    @property
+    def avg_prs_per_packet(self) -> float:
+        if self.stats_packets == 0:
+            return 0.0
+        return self.stats_prs / self.stats_packets

@@ -1,0 +1,116 @@
+"""Redundant-PR elimination: Idx Filter + Pending PR Table (§5.2).
+
+Semantics modelled
+------------------
+
+A client RIG Unit about to issue a PR for ``idx`` drops it when either:
+
+- **Filtering** — the Idx Filter bit for ``idx`` is set, i.e. some unit
+  on this node already *received* the property.  The filter lives in
+  SNIC DRAM and is shared by all units of the node.
+- **Coalescing** — this unit's private Pending PR Table holds an
+  *outstanding* PR for the same ``idx``.  Only same-unit PRs coalesce
+  (the paper avoids cross-unit synchronization).
+
+Both depend on timing: a duplicate is *filtered* only once the first
+request completed, and *coalesced* only while it is still in flight and
+was issued by the same unit.  The trace model captures this with an
+``inflight_window``: the number of subsequently processed idxs during
+which the first request is still outstanding (round-trip time times the
+node's idx processing rate).
+
+Batches of ``batch_size`` consecutive idxs are dispatched round-robin
+to the client units, which fixes each idx's issuing unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FilterResult", "filter_and_coalesce"]
+
+
+@dataclass
+class FilterResult:
+    """Outcome of filter/coalesce over one node's remote idx stream."""
+
+    issued_mask: np.ndarray       # True where a PR actually goes out
+    unit_of: np.ndarray           # issuing client unit per position
+    n_total: int
+    n_issued: int
+    n_filtered: int               # dropped via the Idx Filter
+    n_coalesced: int              # dropped via the Pending PR Table
+
+    @property
+    def fc_rate(self) -> float:
+        """Fraction of candidate PRs eliminated (Table 7 'F+C Rate')."""
+        if self.n_total == 0:
+            return 0.0
+        return (self.n_filtered + self.n_coalesced) / self.n_total
+
+    @property
+    def n_dropped(self) -> int:
+        return self.n_filtered + self.n_coalesced
+
+
+def filter_and_coalesce(
+    idxs: np.ndarray,
+    n_units: int = 16,
+    batch_size: int = 32 * 1024,
+    inflight_window: int = 4096,
+    enable_filtering: bool = True,
+    enable_coalescing: bool = True,
+) -> FilterResult:
+    """Apply Idx-Filter + Pending-PR-Table semantics to an idx stream.
+
+    ``idxs`` is one node's remote property indices in processing order.
+    Returns which of them turn into wire PRs.
+
+    The model anchors each duplicate to the *first* occurrence of its
+    idx: the duplicate is filtered if the first request has completed
+    (``first_pos <= pos - inflight_window``), coalesced if it is still
+    outstanding and was issued by the same unit.  Duplicates of PRs
+    that are simultaneously in flight from *other* units escape both
+    structures — exactly the cross-unit redundancy the paper accepts to
+    avoid synchronization.
+    """
+    idxs = np.asarray(idxs)
+    n = idxs.size
+    if n_units < 1 or batch_size < 1:
+        raise ValueError("n_units and batch_size must be positive")
+    if inflight_window < 0:
+        raise ValueError("inflight_window must be nonnegative")
+    pos = np.arange(n, dtype=np.int64)
+    unit_of = (pos // batch_size) % n_units
+    if n == 0:
+        return FilterResult(
+            issued_mask=np.ones(0, dtype=bool),
+            unit_of=unit_of, n_total=0, n_issued=0,
+            n_filtered=0, n_coalesced=0,
+        )
+
+    uniq, inverse = np.unique(idxs, return_inverse=True)
+    first_pos = np.full(uniq.size, n, dtype=np.int64)
+    np.minimum.at(first_pos, inverse, pos)
+    fp = first_pos[inverse]
+    is_duplicate = pos != fp
+    completed = fp <= pos - inflight_window
+    same_unit = unit_of == unit_of[fp]
+
+    drop_filter = is_duplicate & completed if enable_filtering else np.zeros(n, bool)
+    drop_coalesce = (
+        is_duplicate & ~completed & same_unit
+        if enable_coalescing
+        else np.zeros(n, bool)
+    )
+    dropped = drop_filter | drop_coalesce
+    return FilterResult(
+        issued_mask=~dropped,
+        unit_of=unit_of,
+        n_total=n,
+        n_issued=int((~dropped).sum()),
+        n_filtered=int(drop_filter.sum()),
+        n_coalesced=int(drop_coalesce.sum()),
+    )

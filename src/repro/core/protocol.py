@@ -1,0 +1,202 @@
+"""The NetSparse two-layer network protocol (§6.1.1, Figure 6).
+
+A NetSparse packet rides as the payload of the RDMA/upper layers and
+contains one *Concatenation-layer* header followed by one or more
+PRs, each with its own *PR-layer* header:
+
+=================  ======  =====================================
+Field              Bytes   Notes
+=================  ======  =====================================
+Concat: Type          2    read / response
+Concat: Dest          4    destination node
+Concat: Len           4    property length (same for all PRs)
+Concat: #PRs          4    omitted for unconcatenated packets
+PR: Src               4    source node
+PR: Src tid           2    source RIG Unit id
+PR: Idx               8    property index
+PR: ID                4    request id
+=================  ======  =====================================
+
+Hence concatenation shares the 50 B upper header + 14 B concat header
+across N PRs (64 + 18N bytes of header for N PRs instead of 78N).
+
+Read PRs carry no payload (the idx rides in the PR header); response
+PRs carry the 4*K-byte property.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.config import NetSparseConfig
+
+__all__ = [
+    "PRType",
+    "PRHeader",
+    "NetSparsePacket",
+    "sa_pair_header_bytes",
+    "header_traffic_fraction",
+    "concat_header_savings",
+    "encode_packet",
+    "decode_packet",
+]
+
+
+class PRType:
+    READ = "read"
+    RESPONSE = "response"
+
+
+@dataclass(frozen=True)
+class PRHeader:
+    """PR-layer header of a single property request."""
+
+    src: int
+    src_tid: int
+    idx: int
+    request_id: int
+
+
+@dataclass
+class NetSparsePacket:
+    """A (possibly concatenated) NetSparse packet."""
+
+    pr_type: str
+    dest: int
+    prop_len: int                 # payload bytes carried per response PR
+    prs: List[PRHeader]
+
+    def __post_init__(self):
+        if not self.prs:
+            raise ValueError("a NetSparse packet carries at least one PR")
+        if self.pr_type not in (PRType.READ, PRType.RESPONSE):
+            raise ValueError(f"bad PR type {self.pr_type!r}")
+
+    @property
+    def n_prs(self) -> int:
+        return len(self.prs)
+
+    def payload_bytes(self) -> int:
+        if self.pr_type == PRType.READ:
+            return 0
+        return self.n_prs * self.prop_len
+
+    def wire_bytes(self, config: NetSparseConfig) -> int:
+        per_pr = 0 if self.pr_type == PRType.READ else self.prop_len
+        return config.concat_packet_bytes(self.n_prs, per_pr)
+
+    def fits_mtu(self, config: NetSparseConfig) -> bool:
+        return self.wire_bytes(config) <= config.mtu
+
+
+def sa_pair_header_bytes(config: NetSparseConfig) -> int:
+    """Header bytes of one unconcatenated request/response PR pair.
+
+    Vanilla SA sends each PR in its own packet: a read packet (78 B
+    header, no payload) plus a response packet (78 B header + payload).
+    """
+    return 2 * config.vanilla_pr_header
+
+
+def header_traffic_fraction(k: int, config: NetSparseConfig = None) -> float:
+    """Fraction of total SA wire traffic that is headers, for property
+    size K (Table 3 of the paper).
+
+    Counts both directions of the PR pair: ``156 / (156 + 4K)``.
+    """
+    config = config or NetSparseConfig()
+    headers = sa_pair_header_bytes(config)
+    payload = config.property_bytes(k)
+    return headers / (headers + payload)
+
+
+def concat_header_savings(n_prs: int, config: NetSparseConfig = None) -> float:
+    """Header bytes saved by concatenating N PRs vs N solo packets.
+
+    §6.1.1's arithmetic: 78N separate vs 64 + 18N concatenated.
+    """
+    config = config or NetSparseConfig()
+    if n_prs < 1:
+        raise ValueError("n_prs must be >= 1")
+    solo = n_prs * config.vanilla_pr_header
+    if n_prs == 1:
+        return 0.0
+    packed = (
+        config.header_upper + config.header_concat + n_prs * config.header_pr
+    )
+    return float(solo - packed)
+
+
+# -- wire codec ------------------------------------------------------------
+
+_CONCAT_FMT = "!HIII"          # Type(2) Dest(4) Len(4) #PRs(4)
+_PR_FMT = "!IHQI"              # Src(4) Src-tid(2) Idx(8) ID(4)
+_TYPE_CODES = {PRType.READ: 0, PRType.RESPONSE: 1}
+_TYPE_NAMES = {v: k for k, v in _TYPE_CODES.items()}
+
+
+def encode_packet(packet: NetSparsePacket, payloads=None) -> bytes:
+    """Serialize a NetSparse packet body to wire bytes (Figure 6).
+
+    Encodes the concatenation-layer header and each PR-layer header;
+    response packets append each PR's ``prop_len``-byte payload
+    (zero-filled placeholders unless ``payloads`` supplies them).  The
+    upper (RDMA) layers are opaque to NetSparse and are not encoded.
+    """
+    if payloads is not None and len(payloads) != packet.n_prs:
+        raise ValueError("one payload per PR required")
+    out = [struct.pack(
+        _CONCAT_FMT,
+        _TYPE_CODES[packet.pr_type],
+        packet.dest,
+        packet.prop_len,
+        packet.n_prs,
+    )]
+    for i, pr in enumerate(packet.prs):
+        out.append(struct.pack(_PR_FMT, pr.src, pr.src_tid, pr.idx,
+                               pr.request_id))
+        if packet.pr_type == PRType.RESPONSE:
+            body = payloads[i] if payloads is not None else b"\x00" * packet.prop_len
+            if len(body) != packet.prop_len:
+                raise ValueError(
+                    f"payload {i} is {len(body)} B, expected {packet.prop_len}"
+                )
+            out.append(body)
+    return b"".join(out)
+
+
+def decode_packet(data: bytes):
+    """Parse wire bytes back into (packet, payloads).
+
+    Raises ``ValueError`` on truncated or malformed input.
+    """
+    header_size = struct.calcsize(_CONCAT_FMT)
+    pr_size = struct.calcsize(_PR_FMT)
+    if len(data) < header_size:
+        raise ValueError("truncated concatenation-layer header")
+    type_code, dest, prop_len, n_prs = struct.unpack_from(_CONCAT_FMT, data)
+    if type_code not in _TYPE_NAMES:
+        raise ValueError(f"unknown PR type code {type_code}")
+    if n_prs < 1:
+        raise ValueError("packet carries no PRs")
+    pr_type = _TYPE_NAMES[type_code]
+    body_len = prop_len if pr_type == PRType.RESPONSE else 0
+    expected = header_size + n_prs * (pr_size + body_len)
+    if len(data) != expected:
+        raise ValueError(
+            f"packet length {len(data)} != expected {expected} "
+            f"for {n_prs} PRs"
+        )
+    prs, payloads = [], []
+    offset = header_size
+    for _ in range(n_prs):
+        src, tid, idx, req = struct.unpack_from(_PR_FMT, data, offset)
+        offset += pr_size
+        prs.append(PRHeader(src=src, src_tid=tid, idx=idx, request_id=req))
+        payloads.append(data[offset:offset + body_len])
+        offset += body_len
+    return NetSparsePacket(pr_type, dest, prop_len, prs), payloads

@@ -1,0 +1,101 @@
+"""Shared DES building blocks: packets and serial links."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Union
+
+from repro.config import NetSparseConfig
+from repro.core.rig import ReadPR, ResponsePR
+from repro.sim import Simulator, Store
+
+__all__ = ["NetPacket", "SerialLink", "packet_wire_bytes"]
+
+_packet_seq = itertools.count()
+
+PR = Union[ReadPR, ResponsePR]
+
+
+@dataclass
+class NetPacket:
+    """A NetSparse packet on the DES fabric.
+
+    ``dst_node`` drives routing; the concatenation layer guarantees all
+    contained PRs share it.  ``payload_per_pr`` is 0 for read packets
+    and 4*K for response packets.
+    """
+
+    pr_type: str                   # "read" | "response"
+    src_node: int
+    dst_node: int
+    prs: List[PR]
+    payload_per_pr: int
+    packet_id: int = field(default_factory=lambda: next(_packet_seq))
+
+    @property
+    def n_prs(self) -> int:
+        return len(self.prs)
+
+
+def packet_wire_bytes(packet: NetPacket, config: NetSparseConfig) -> int:
+    """Wire size of a packet under the NetSparse protocol (§6.1.1)."""
+    return config.concat_packet_bytes(packet.n_prs, packet.payload_per_pr)
+
+
+class SerialLink:
+    """A directed link: bounded input queue -> serializer -> sink store.
+
+    Serialization occupies the link (bytes / bandwidth); propagation is
+    pipelined.  The bounded input queue plus blocking puts give the
+    lossless backpressure of the modelled fabric.  Per-packet and
+    per-byte counters feed the traffic validation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        sink: Store,
+        config: NetSparseConfig,
+        bandwidth: float = None,
+        latency: float = 450e-9,
+        queue_packets: int = 64,
+        drop_fn=None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.sink = sink
+        self.config = config
+        self.bandwidth = bandwidth or config.link_bandwidth
+        self.latency = latency
+        self.queue = Store(sim, capacity=queue_packets, name=f"{name}.q")
+        #: Failure-injection hook: drop_fn(packet) -> True drops it
+        #: in flight (§7.1: losses are hardware failures, not queueing).
+        self.drop_fn = drop_fn
+        self.bytes_carried = 0
+        self.packets_carried = 0
+        self.prs_carried = 0
+        self.packets_dropped = 0
+        sim.process(self._run(), name=name)
+
+    def _run(self):
+        while True:
+            packet: NetPacket = yield self.queue.get()
+            size = packet_wire_bytes(packet, self.config)
+            self.bytes_carried += size
+            self.packets_carried += 1
+            self.prs_carried += packet.n_prs
+            yield self.sim.timeout(size / self.bandwidth)
+            self.sim.process(self._deliver(packet))
+
+    def _deliver(self, packet: NetPacket):
+        yield self.sim.timeout(self.latency)
+        if self.drop_fn is not None and self.drop_fn(packet):
+            self.packets_dropped += 1
+            return
+        yield self.sink.put(packet)
+
+    def send(self, packet: NetPacket):
+        """Blocking-put event for upstream components to yield on."""
+        return self.queue.put(packet)

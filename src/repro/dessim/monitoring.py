@@ -1,0 +1,111 @@
+"""DES instrumentation: PR latency and queue-occupancy profiles.
+
+The trace model reasons about throughput; the DES can additionally
+answer *latency* questions — how long an individual property request
+waits end to end, and how deep the hardware queues run (which sizes the
+Table 5 buffers).  This module provides:
+
+- :class:`LatencyProbe` — records per-PR issue/response timestamps via
+  the RIG units' hooks and reports percentiles.
+- :class:`QueueMonitor` — samples Store occupancies on a fixed period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.sim import Simulator, Store
+
+__all__ = ["LatencyProbe", "LatencyStats", "QueueMonitor"]
+
+
+@dataclass
+class LatencyStats:
+    """Percentile summary of observed PR round-trip latencies."""
+
+    count: int
+    p50: float
+    p90: float
+    p99: float
+    mean: float
+    max: float
+
+    @staticmethod
+    def from_samples(samples: Sequence[float]) -> "LatencyStats":
+        if not samples:
+            return LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        arr = np.asarray(samples, dtype=float)
+        return LatencyStats(
+            count=arr.size,
+            p50=float(np.percentile(arr, 50)),
+            p90=float(np.percentile(arr, 90)),
+            p99=float(np.percentile(arr, 99)),
+            mean=float(arr.mean()),
+            max=float(arr.max()),
+        )
+
+
+class LatencyProbe:
+    """Track per-request round-trip latency across a DES run.
+
+    Wire it between issue and completion: call :meth:`issued` when a PR
+    leaves a RIG unit and :meth:`completed` when its response lands
+    (keyed by request id).
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._issue_times: Dict[int, float] = {}
+        self.samples: List[float] = []
+        self.unmatched_completions = 0
+
+    def issued(self, request_id: int) -> None:
+        self._issue_times[request_id] = self.sim.now
+
+    def completed(self, request_id: int) -> None:
+        start = self._issue_times.pop(request_id, None)
+        if start is None:
+            self.unmatched_completions += 1
+            return
+        self.samples.append(self.sim.now - start)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._issue_times)
+
+    def stats(self) -> LatencyStats:
+        return LatencyStats.from_samples(self.samples)
+
+
+class QueueMonitor:
+    """Periodically sample Store occupancies during a DES run."""
+
+    def __init__(self, sim: Simulator, stores: Dict[str, Store],
+                 period: float):
+        if period <= 0:
+            raise ValueError("sampling period must be positive")
+        self.sim = sim
+        self.stores = dict(stores)
+        self.period = period
+        self.samples: Dict[str, List[int]] = {n: [] for n in self.stores}
+        self._proc = sim.process(self._run(), name="queue-monitor")
+
+    def _run(self):
+        while True:
+            for name, store in self.stores.items():
+                self.samples[name].append(len(store))
+            yield self.sim.timeout(self.period)
+
+    def occupancy_stats(self) -> Dict[str, Dict[str, float]]:
+        out = {}
+        for name, series in self.samples.items():
+            arr = np.asarray(series or [0], dtype=float)
+            out[name] = {
+                "mean": float(arr.mean()),
+                "p99": float(np.percentile(arr, 99)),
+                "max": float(arr.max()),
+            }
+        return out

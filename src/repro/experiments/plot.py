@@ -1,0 +1,83 @@
+"""Dependency-free ASCII rendering of experiment figures.
+
+The paper's figures are bar/line charts; for terminal-first workflows
+(and CI logs) this module renders an :class:`ExpTable`'s series as
+horizontal ASCII bars.  Matplotlib is deliberately not required.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.experiments.runner import ExpTable
+
+__all__ = ["ascii_bars", "render_figure"]
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    log_scale: bool = False,
+    unit: str = "",
+) -> str:
+    """Render one bar per (label, value), scaled to ``width`` chars."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return "(empty)"
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be nonnegative")
+    if log_scale:
+        scaled = [math.log10(v + 1.0) for v in values]
+    else:
+        scaled = list(values)
+    top = max(scaled) or 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value, s in zip(labels, values, scaled):
+        bar = "#" * max(int(round(s / top * width)), 1 if value > 0 else 0)
+        lines.append(
+            f"{str(label).rjust(label_w)} | {bar.ljust(width)} "
+            f"{value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure(
+    table: ExpTable,
+    label_col: str,
+    value_col: str,
+    group_col: Optional[str] = None,
+    width: int = 40,
+    log_scale: bool = False,
+) -> str:
+    """Render an experiment table as one ASCII chart (or one per group).
+
+    ``group_col`` splits the rows into sub-charts (e.g. one per K).
+    """
+    out: List[str] = [f"== {table.exp_id}: {table.title} =="]
+    if group_col is None:
+        out.append(
+            ascii_bars(table.column(label_col), table.column(value_col),
+                       width=width, log_scale=log_scale)
+        )
+    else:
+        groups = []
+        for g in table.column(group_col):
+            if g not in groups:
+                groups.append(g)
+        li = table.columns.index(label_col)
+        vi = table.columns.index(value_col)
+        gi = table.columns.index(group_col)
+        for g in groups:
+            rows = [r for r in table.rows if r[gi] == g]
+            out.append(f"-- {group_col} = {g} --")
+            out.append(
+                ascii_bars([r[li] for r in rows], [r[vi] for r in rows],
+                           width=width, log_scale=log_scale)
+            )
+    if table.paper_note:
+        out.append(f"[paper] {table.paper_note}")
+    return "\n".join(out)

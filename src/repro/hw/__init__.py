@@ -1,0 +1,17 @@
+"""Hardware overhead models: area and power of the NetSparse extensions.
+
+Replaces the paper's RTL-synthesis + CACTI flow (§8.3) with analytical
+per-structure SRAM/CAM/logic models and Stillmaker-Baas style process
+scaling, calibrated to land in the paper's reported ranges (§9.5).
+"""
+
+from repro.hw.tech import TechModel
+from repro.hw.snic import rig_unit_area_breakdown, snic_overheads
+from repro.hw.switch import switch_overheads
+
+__all__ = [
+    "TechModel",
+    "rig_unit_area_breakdown",
+    "snic_overheads",
+    "switch_overheads",
+]

@@ -1,0 +1,90 @@
+"""Communication energy model (extension).
+
+The paper evaluates area and power of the NetSparse additions (§9.5)
+but not end-to-end communication *energy*.  Since traffic reductions of
+10-300x (Table 7) translate almost directly into network energy, this
+model combines standard per-component energy coefficients with the
+simulated traffic to compare joules per kernel across schemes:
+
+- serdes + wire: ~4 pJ/bit per link traversal on 400G-class links;
+- switch traversal: buffering + crossbar, ~2 pJ/bit;
+- NIC/RIG processing: the §9.5 dynamic power at the achieved PR rate;
+- host software (SA paths): CPU core energy for the per-PR handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import NetSparseConfig
+from repro.results import CommResult
+
+__all__ = ["EnergyCoefficients", "CommEnergy", "communication_energy"]
+
+
+@dataclass(frozen=True)
+class EnergyCoefficients:
+    """Per-event energies (joules)."""
+
+    link_j_per_byte: float = 4e-12 * 8        # 4 pJ/bit serdes + wire
+    switch_j_per_byte: float = 2e-12 * 8      # buffer + crossbar
+    rig_j_per_pr: float = 1.0e-9              # §9.5: ~2 W at ~2G PR/s
+    cache_j_per_access: float = 0.5e-9        # 32 MB SRAM access
+    cpu_j_per_pr_second: float = 2.5          # watts burned per busy core
+
+
+@dataclass
+class CommEnergy:
+    """Energy breakdown of one kernel iteration's communication."""
+
+    scheme: str
+    network_j: float
+    nic_processing_j: float
+    host_software_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.network_j + self.nic_processing_j + self.host_software_j
+
+
+def communication_energy(
+    result: CommResult,
+    config: Optional[NetSparseConfig] = None,
+    coeffs: EnergyCoefficients = EnergyCoefficients(),
+    avg_hops: float = 3.0,
+) -> CommEnergy:
+    """Estimate the energy of a simulated communication phase.
+
+    ``avg_hops`` is the mean link count per byte (intra-rack 2,
+    inter-rack 4 on the leaf-spine; 3 is the blended default).
+    Scheme-specific terms: NetSparse pays RIG and cache energy per PR;
+    the software schemes pay CPU energy for the time their cores spend
+    in the communication stack.
+    """
+    config = config or NetSparseConfig()
+    wire_bytes = float(result.recv_wire_bytes.sum())
+    network = wire_bytes * (
+        avg_hops * coeffs.link_j_per_byte
+        + (avg_hops - 1) * coeffs.switch_j_per_byte
+    )
+
+    nic = 0.0
+    host = 0.0
+    if result.scheme == "netsparse":
+        nic = result.n_prs_issued * coeffs.rig_j_per_pr
+        nic += result.cache_lookups * coeffs.cache_j_per_access
+    elif result.scheme in ("saopt", "hybrid", "vanilla"):
+        # Core-seconds spent in per-PR software across the cluster.
+        payload = config.property_bytes(result.k)
+        core_seconds = (
+            2.0 * result.n_prs_issued * config.sw_pr_cost(payload)
+        )
+        host = core_seconds * coeffs.cpu_j_per_pr_second
+    # suopt: pure DMA/collective — network term only.
+    return CommEnergy(
+        scheme=result.scheme,
+        network_j=network,
+        nic_processing_j=nic,
+        host_software_j=host,
+    )

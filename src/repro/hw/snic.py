@@ -1,0 +1,123 @@
+"""SNIC extension overheads (Figure 20, Table 9).
+
+Structures per Table 5: 32 RIG Units (4 KB Idx Buffer, 4 KB Property
+Buffer, 256-entry Pending PR Table CAM, 64-entry LSQ, logic engine),
+16 shared 32 KB L1s and 16 shared 128 KB L2s, plus the NIC
+(de)concatenator SRAM (512 KB) and logic.
+
+The paper's findings we reproduce: the L2s dominate area and static
+power, the RIG Units dominate dynamic power, and within a RIG Unit the
+Pending PR Table CAM is the largest single structure (~53% of area).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import NetSparseConfig
+from repro.hw.tech import StructureCost, TechModel
+
+__all__ = ["snic_overheads", "rig_unit_area_breakdown", "SNIC_STRUCTURES"]
+
+#: Bytes per Pending-PR-Table entry (idx 8 + host addr 8 + id/dest/state 8).
+PENDING_ENTRY_BYTES = 24
+#: Bytes per LSQ entry.
+LSQ_ENTRY_BYTES = 16
+#: Logic complexity of one RIG Unit's engine (kGE): destination solver,
+#: PR generator, control.
+RIG_LOGIC_KGATES = 20.0
+#: Logic of one (de)concatenator block.
+CONCAT_LOGIC_KGATES = 60.0
+
+SNIC_STRUCTURES = ("RIG Units", "L1s", "L2s", "Concatenators")
+
+
+def _rig_unit_parts(tech: TechModel, cfg: NetSparseConfig) -> List[StructureCost]:
+    """Costs of one RIG Unit's internal structures (Figure 5)."""
+    freq = cfg.snic_freq
+    # Max activity: one idx per cycle streaming through each structure.
+    idx_buffer = tech.sram("Idx Buffer", 4 * 1024, access_bytes_per_s=8 * freq)
+    prop_buffer = tech.sram("Prop. Buffer", 4 * 1024,
+                            access_bytes_per_s=64 * freq / 4)
+    pending = tech.cam(
+        "Pend. PR Table",
+        cfg.pending_pr_entries * PENDING_ENTRY_BYTES,
+        searches_per_s=freq,
+        entry_bytes=PENDING_ENTRY_BYTES,
+    )
+    lsq = tech.cam(
+        "LSQ",
+        cfg.lsq_entries * LSQ_ENTRY_BYTES,
+        searches_per_s=freq,
+        entry_bytes=LSQ_ENTRY_BYTES,
+    )
+    rest = tech.logic("Rest", RIG_LOGIC_KGATES, freq)
+    return [idx_buffer, pending, prop_buffer, lsq, rest]
+
+
+def rig_unit_area_breakdown(
+    tech: TechModel = None, cfg: NetSparseConfig = None
+) -> Dict[str, float]:
+    """Fractional area contribution of each RIG Unit structure (Table 9)."""
+    tech = tech or TechModel(10)
+    cfg = cfg or NetSparseConfig()
+    parts = _rig_unit_parts(tech, cfg)
+    total = sum(p.area_mm2 for p in parts)
+    return {p.name: p.area_mm2 / total for p in parts}
+
+
+def snic_overheads(
+    tech: TechModel = None, cfg: NetSparseConfig = None
+) -> Dict[str, StructureCost]:
+    """Area/power of each SNIC extension group (Figure 20)."""
+    tech = tech or TechModel(10)
+    cfg = cfg or NetSparseConfig()
+    freq = cfg.snic_freq
+
+    rig_unit = TechModel.combine("one RIG Unit", _rig_unit_parts(tech, cfg))
+    rig_units = StructureCost(
+        "RIG Units",
+        rig_unit.area_mm2 * cfg.n_rig_units,
+        rig_unit.static_w * cfg.n_rig_units,
+        rig_unit.dynamic_w * cfg.n_rig_units,
+    )
+    # 16 L1s (32 KB) and 16 L2s (128 KB), each shared by a unit pair.
+    n_caches = cfg.n_rig_units // 2
+    l1s = tech.sram("L1s", 32 * 1024, access_bytes_per_s=8 * freq,
+                    copies=n_caches)
+    l2s = tech.sram("L2s", 128 * 1024, access_bytes_per_s=2 * freq,
+                    copies=n_caches)
+    concat_sram = tech.sram("concat SRAM", cfg.concat_sram_bytes,
+                            access_bytes_per_s=cfg.link_bandwidth * 2)
+    concat_logic = tech.logic("concat logic", CONCAT_LOGIC_KGATES, freq,
+                              copies=2)  # concatenator + deconcatenator
+    concat = TechModel.combine("Concatenators", [concat_sram, concat_logic])
+
+    return {
+        "RIG Units": rig_units,
+        "L1s": l1s,
+        "L2s": l2s,
+        "Concatenators": concat,
+    }
+
+
+def snic_totals(tech: TechModel = None, cfg: NetSparseConfig = None) -> StructureCost:
+    """Combined SNIC extension overhead (the paper: ~1.43 mm², ~2.1 W)."""
+    parts = snic_overheads(tech, cfg)
+    return TechModel.combine("SNIC extensions", list(parts.values()))
+
+
+def snic_storage_bytes(cfg: NetSparseConfig = None) -> int:
+    """Total storage added to the SNIC (the paper quotes ~3.5 MB)."""
+    cfg = cfg or NetSparseConfig()
+    per_unit = (
+        4 * 1024 + 4 * 1024
+        + cfg.pending_pr_entries * PENDING_ENTRY_BYTES
+        + cfg.lsq_entries * LSQ_ENTRY_BYTES
+    )
+    n_caches = cfg.n_rig_units // 2
+    return (
+        cfg.n_rig_units * per_unit
+        + n_caches * (32 + 128) * 1024
+        + cfg.concat_sram_bytes
+    )

@@ -1,0 +1,67 @@
+"""ToR switch extension overheads (§9.5 item 2).
+
+Extensions per Table 5: a 32 MB Property Cache, (de)concatenators with
+512 KB SRAM per pipe (8 pipes), and the second crossbar.  The paper
+estimates ~21.3 mm² for the caches, ~1.5 mm² for the concatenators,
+~10 W combined (≈4% of a 270 W Tofino2), and bounds the extra crossbar
+at 1-15% of a ~700 mm² switch ASIC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config import NetSparseConfig
+from repro.hw.snic import CONCAT_LOGIC_KGATES
+from repro.hw.tech import StructureCost, TechModel
+
+__all__ = ["switch_overheads", "switch_totals", "crossbar_area_range_mm2"]
+
+#: Tag + control overhead of the Property Cache relative to data SRAM.
+PCACHE_OVERHEAD_FACTOR = 1.9
+#: Reference Tofino2 numbers used for the percentage claims.
+TOFINO2_POWER_W = 270.0
+SWITCH_ASIC_AREA_MM2 = 700.0
+N_SWITCH_PIPES = 8
+
+
+def switch_overheads(
+    tech: TechModel = None, cfg: NetSparseConfig = None
+) -> Dict[str, StructureCost]:
+    tech = tech or TechModel(10)
+    cfg = cfg or NetSparseConfig()
+
+    # Max activity: every port's traffic touches the cache (read lookup
+    # or response insert); a 32 MB array's access energy is dominated by
+    # wires, hence the large energy factor.
+    n_ports = 32
+    data = tech.sram(
+        "Property Cache",
+        int(cfg.pcache_bytes * PCACHE_OVERHEAD_FACTOR),
+        access_bytes_per_s=cfg.link_bandwidth * n_ports,
+        energy_factor=25.0,
+    )
+    concat_sram = tech.sram(
+        "concat SRAM",
+        cfg.concat_sram_bytes,
+        access_bytes_per_s=cfg.link_bandwidth * 2,
+        copies=N_SWITCH_PIPES,
+        energy_factor=2.0,
+    )
+    concat_logic = tech.logic(
+        "concat logic", CONCAT_LOGIC_KGATES, cfg.switch_freq,
+        copies=2 * N_SWITCH_PIPES,
+    )
+    concat = TechModel.combine("Concatenators", [concat_sram, concat_logic])
+    return {"Property Cache": data, "Concatenators": concat}
+
+
+def switch_totals(tech: TechModel = None, cfg: NetSparseConfig = None) -> StructureCost:
+    parts = switch_overheads(tech, cfg)
+    return TechModel.combine("switch extensions", list(parts.values()))
+
+
+def crossbar_area_range_mm2() -> tuple:
+    """The paper can only bound the second crossbar + inter-pipe routing
+    at 1-15% of the switch ASIC; we report the same range."""
+    return (0.01 * SWITCH_ASIC_AREA_MM2, 0.15 * SWITCH_ASIC_AREA_MM2)

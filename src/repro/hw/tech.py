@@ -1,0 +1,116 @@
+"""Process technology model: SRAM / CAM / logic area and power.
+
+The paper synthesizes the RIG pipelines and concatenators at 45 nm
+(FreePDK45 + Design Compiler), uses CACTI for the storage structures,
+and scales to 10 nm with the Stillmaker-Baas equations [83].  We model
+the same three structure classes with per-byte (storage) and per-unit
+(logic) coefficients at 45 nm and apply published scaling factors.
+
+Coefficient calibration: 10 nm SRAM macro density ~0.04 µm²/bit
+(≈0.33 mm²/MB), CAM ≈3x SRAM per bit with ~5x dynamic energy, leakage
+~15 mW/MB at 10 nm.  These land the totals in the paper's reported
+envelope (≈1.4 mm² / ≈2 W for the SNIC extensions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StructureCost", "TechModel"]
+
+#: Area scaling factor 45 nm -> target node (Stillmaker-Baas style).
+_AREA_SCALE = {45: 1.0, 22: 0.25, 10: 0.062, 7: 0.035}
+#: Dynamic energy scaling 45 nm -> target node.
+_ENERGY_SCALE = {45: 1.0, 22: 0.40, 10: 0.17, 7: 0.12}
+#: Static power scaling.
+_LEAKAGE_SCALE = {45: 1.0, 22: 0.45, 10: 0.22, 7: 0.16}
+
+
+@dataclass
+class StructureCost:
+    """Area and power of one hardware structure."""
+
+    name: str
+    area_mm2: float
+    static_w: float
+    dynamic_w: float
+
+    @property
+    def total_power_w(self) -> float:
+        return self.static_w + self.dynamic_w
+
+
+class TechModel:
+    """Per-structure cost models at a given process node."""
+
+    # 45 nm baseline coefficients.
+    SRAM_MM2_PER_BYTE = 5.3e-6        # ~5.3 mm^2 / MB at 45 nm
+    CAM_MM2_PER_BYTE = 3.0 * SRAM_MM2_PER_BYTE
+    SRAM_LEAK_W_PER_BYTE = 68e-9      # ~68 mW / MB at 45 nm
+    CAM_LEAK_W_PER_BYTE = 2.0 * SRAM_LEAK_W_PER_BYTE
+    SRAM_PJ_PER_BYTE_ACCESS = 1.1     # dynamic energy per byte accessed
+    CAM_PJ_PER_BYTE_SEARCH = 0.02  # ~2.5 fJ/bit match-line energy
+    LOGIC_MM2_PER_KGATE = 1.0e-3      # NAND2-equivalent gates
+    LOGIC_LEAK_W_PER_KGATE = 1.6e-6
+    LOGIC_PJ_PER_KGATE_CYCLE = 0.35
+
+    def __init__(self, node_nm: int = 10):
+        if node_nm not in _AREA_SCALE:
+            raise ValueError(
+                f"unsupported node {node_nm} nm; choose from {sorted(_AREA_SCALE)}"
+            )
+        self.node_nm = node_nm
+        self._a = _AREA_SCALE[node_nm]
+        self._e = _ENERGY_SCALE[node_nm]
+        self._l = _LEAKAGE_SCALE[node_nm]
+
+    # -- storage --------------------------------------------------------
+
+    def sram(self, name: str, capacity_bytes: int, access_bytes_per_s: float,
+             copies: int = 1, energy_factor: float = 1.0) -> StructureCost:
+        """An SRAM array accessed at ``access_bytes_per_s`` (max activity).
+
+        ``energy_factor`` scales the per-byte access energy for large,
+        wire-dominated arrays (tens of MB), whose H-tree and sense
+        energy per access is an order of magnitude above a KB-scale
+        scratchpad's.
+        """
+        area = capacity_bytes * self.SRAM_MM2_PER_BYTE * self._a * copies
+        static = capacity_bytes * self.SRAM_LEAK_W_PER_BYTE * self._l * copies
+        dynamic = (
+            access_bytes_per_s * self.SRAM_PJ_PER_BYTE_ACCESS * energy_factor
+            * 1e-12 * self._e * copies
+        )
+        return StructureCost(name, area, static, dynamic)
+
+    def cam(self, name: str, capacity_bytes: int, searches_per_s: float,
+            entry_bytes: int, copies: int = 1) -> StructureCost:
+        """A content-addressable memory searched ``searches_per_s``."""
+        area = capacity_bytes * self.CAM_MM2_PER_BYTE * self._a * copies
+        static = capacity_bytes * self.CAM_LEAK_W_PER_BYTE * self._l * copies
+        # A search activates every entry's comparand.
+        dynamic = (
+            searches_per_s * capacity_bytes * self.CAM_PJ_PER_BYTE_SEARCH
+            * 1e-12 * self._e * copies
+        )
+        return StructureCost(name, area, static, dynamic)
+
+    def logic(self, name: str, kgates: float, freq: float, activity: float = 1.0,
+              copies: int = 1) -> StructureCost:
+        """Random logic of ``kgates`` thousand gate-equivalents."""
+        area = kgates * self.LOGIC_MM2_PER_KGATE * self._a * copies
+        static = kgates * self.LOGIC_LEAK_W_PER_KGATE * self._l * copies
+        dynamic = (
+            kgates * freq * activity * self.LOGIC_PJ_PER_KGATE_CYCLE
+            * 1e-12 * self._e * copies
+        )
+        return StructureCost(name, area, static, dynamic)
+
+    @staticmethod
+    def combine(name: str, parts) -> StructureCost:
+        return StructureCost(
+            name,
+            sum(p.area_mm2 for p in parts),
+            sum(p.static_w for p in parts),
+            sum(p.dynamic_w for p in parts),
+        )

@@ -1,0 +1,106 @@
+"""Flow-level network timing model.
+
+Communication phases of sparse kernels are throughput-bound: what
+determines completion time is how long the most-loaded resource (host
+injection port, host ejection port, or fabric link) needs to drain its
+bytes, plus a latency term for the last in-flight round trip.  This is
+the same style of idealization the paper applies to its SUOpt baseline
+("time needed ... to receive all of the data bytes ... at 100% line
+bandwidth") and it is how we convert the exact per-link byte loads from
+the trace model into time.
+
+The packet-level DES in :mod:`repro.network.packetsim` validates this
+model at small scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.network.topology import Topology
+
+__all__ = ["FlowTimingResult", "flow_completion_time"]
+
+
+@dataclass
+class FlowTimingResult:
+    """Timing breakdown of one communication phase."""
+
+    total_time: float             # seconds
+    bottleneck_link: int          # link id of the binding resource
+    bottleneck_time: float        # drain time of that link
+    node_send_time: np.ndarray    # per-node injection drain time
+    node_recv_time: np.ndarray    # per-node ejection drain time
+    latency_term: float           # zero-load RTT added for the last flight
+    link_loads: np.ndarray        # bytes per link
+
+    @property
+    def tail_node(self) -> int:
+        """The node whose port drains last (paper's 'tail node')."""
+        per_node = np.maximum(self.node_send_time, self.node_recv_time)
+        return int(np.argmax(per_node))
+
+
+def flow_completion_time(
+    topology: Topology,
+    traffic: np.ndarray,
+    efficiency: float = 1.0,
+    latency_rtt: Optional[float] = None,
+) -> FlowTimingResult:
+    """Completion time of a traffic matrix on a topology.
+
+    ``traffic[s, d]`` is bytes moved from node s to node d (wire bytes,
+    i.e. including whatever headers the caller's protocol adds).
+    ``efficiency`` derates all links uniformly (e.g. to model protocol
+    or scheduling slack); ``latency_rtt`` defaults to the topology's
+    worst-case RTT among communicating pairs.
+    """
+    traffic = np.asarray(traffic, dtype=np.float64)
+    n = topology.n_nodes
+    if traffic.shape != (n, n):
+        raise ValueError(f"traffic must be ({n}, {n}), got {traffic.shape}")
+    if not 0 < efficiency <= 1:
+        raise ValueError("efficiency must be in (0, 1]")
+
+    loads = topology.link_loads(traffic)
+    bandwidths = np.array([l.bandwidth for l in topology.links]) * efficiency
+    drain = np.divide(loads, bandwidths)
+    bottleneck = int(np.argmax(drain)) if loads.any() else 0
+
+    send_bytes = traffic.sum(axis=1) - np.diag(traffic)
+    recv_bytes = traffic.sum(axis=0) - np.diag(traffic)
+    # Host ports run at the host-link rate.
+    host_bw = np.empty(n)
+    for node in range(n):
+        lid = topology.route(node, (node + 1) % n)
+        host_bw[node] = topology.links[lid[0]].bandwidth if lid else np.inf
+    host_bw *= efficiency
+    node_send = send_bytes / host_bw
+    node_recv = recv_bytes / host_bw
+
+    if latency_rtt is None:
+        latency_rtt = _worst_rtt(topology, traffic)
+
+    total = float(max(drain.max() if loads.any() else 0.0,
+                      node_send.max(), node_recv.max()) + latency_rtt)
+    return FlowTimingResult(
+        total_time=total,
+        bottleneck_link=bottleneck,
+        bottleneck_time=float(drain[bottleneck]) if loads.any() else 0.0,
+        node_send_time=node_send,
+        node_recv_time=node_recv,
+        latency_term=latency_rtt,
+        link_loads=loads,
+    )
+
+
+def _worst_rtt(topology: Topology, traffic: np.ndarray) -> float:
+    worst = 0.0
+    src_ids, dst_ids = np.nonzero(traffic)
+    for s, d in zip(src_ids.tolist(), dst_ids.tolist()):
+        if s != d:
+            worst = max(worst, topology.rtt(s, d))
+    return worst

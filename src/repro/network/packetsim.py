@@ -1,0 +1,121 @@
+"""Packet-level DES network on top of :mod:`repro.sim`.
+
+Store-and-forward model: every directed link has a bounded input queue
+and a serializer process (wire time = bytes / bandwidth, then the link's
+propagation latency).  Bounded queues + blocking puts give the lossless
+backpressure behaviour of the paper's InfiniBand-like fabric (§7.1) —
+packets are never dropped, upstream stalls instead.
+
+This simulator exists to *validate* the flow-level timing model and the
+DES NetSparse components at small scale; the 128-node experiments use
+the vectorized trace model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim import Simulator, Store
+from repro.network.topology import SWITCH_LATENCY_S, Topology
+
+__all__ = ["Packet", "PacketNetwork"]
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A network packet (wire size includes all headers)."""
+
+    src: int
+    dst: int
+    size_bytes: int
+    payload: Any = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    created_at: float = 0.0
+    delivered_at: float = 0.0
+
+    @property
+    def latency(self) -> float:
+        return self.delivered_at - self.created_at
+
+
+class PacketNetwork:
+    """DES network: inject packets at hosts, receive them at hosts.
+
+    ``queue_packets`` bounds each link's input queue (backpressure
+    domain).  An optional ``switch_hook(packet, link_id)`` observes each
+    hop — the NetSparse switch models (cache, concatenators) plug in
+    there in the integration tests.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        queue_packets: int = 64,
+        switch_hook: Optional[Callable[[Packet, int], Optional[Packet]]] = None,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.switch_hook = switch_hook
+        self.link_queues: List[Store] = [
+            Store(sim, capacity=queue_packets, name=f"link{l.link_id}")
+            for l in topology.links
+        ]
+        self.rx: Dict[int, Store] = {
+            node: Store(sim, name=f"rx{node}") for node in range(topology.n_nodes)
+        }
+        self.stats_delivered = 0
+        self.stats_bytes = 0
+        for link in topology.links:
+            sim.process(self._link_proc(link.link_id), name=f"link{link.link_id}")
+
+    def _link_proc(self, link_id: int):
+        link = self.topology.links[link_id]
+        queue = self.link_queues[link_id]
+        while True:
+            packet: Packet = yield queue.get()
+            # Serialization occupies the link; propagation is pipelined
+            # (detached), so back-to-back packets overlap in flight.
+            yield self.sim.timeout(packet.size_bytes / link.bandwidth)
+            self.sim.process(self._propagate(packet, link_id, link.latency))
+
+    def _propagate(self, packet: "Packet", link_id: int, latency: float):
+        yield self.sim.timeout(latency)
+        yield from self._forward(packet, link_id)
+
+    def _forward(self, packet: Packet, arrived_on: int):
+        if self.switch_hook is not None:
+            maybe = self.switch_hook(packet, arrived_on)
+            if maybe is None:
+                return  # hook consumed the packet (e.g. cache hit turnaround)
+            packet = maybe
+        route = self.topology.route(packet.src, packet.dst)
+        pos = route.index(arrived_on)
+        if pos == len(route) - 1:
+            packet.delivered_at = self.sim.now
+            self.stats_delivered += 1
+            self.stats_bytes += packet.size_bytes
+            yield self.rx[packet.dst].put(packet)
+        else:
+            # Switch traversal time before the next hop (Table 5: 300 ns).
+            yield self.sim.timeout(SWITCH_LATENCY_S)
+            yield self.link_queues[route[pos + 1]].put(packet)
+
+    def inject(self, packet: Packet):
+        """Process generator: put ``packet`` onto its first link.
+
+        Blocks (backpressure) when the first-hop queue is full.  A
+        self-addressed packet is delivered immediately.
+        """
+        packet.created_at = self.sim.now
+        if packet.src == packet.dst:
+            packet.delivered_at = self.sim.now
+            self.stats_delivered += 1
+            yield self.rx[packet.dst].put(packet)
+            return
+        route = self.topology.route(packet.src, packet.dst)
+        yield self.link_queues[route[0]].put(packet)

@@ -1,0 +1,5 @@
+"""1D partitioning of matrices and property arrays across cluster nodes."""
+
+from repro.partition.oned import OneDPartition, balanced_by_nnz
+
+__all__ = ["OneDPartition", "balanced_by_nnz"]

@@ -1,0 +1,24 @@
+"""Sparse-matrix substrate.
+
+Provides the matrix containers (:class:`~repro.sparse.matrix.COOMatrix`,
+:class:`~repro.sparse.matrix.CSRMatrix`), structure-matched synthetic
+generators for the paper's five SuiteSparse benchmarks
+(:mod:`repro.sparse.synthetic`), the benchmark registry
+(:mod:`repro.sparse.suite`), and numerically validated reference kernels
+(:mod:`repro.sparse.kernels`).
+"""
+
+from repro.sparse.kernels import sddmm, spmm, spmv
+from repro.sparse.matrix import COOMatrix, CSRMatrix
+from repro.sparse.suite import BENCHMARKS, BenchmarkSpec, load_benchmark
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "COOMatrix",
+    "CSRMatrix",
+    "load_benchmark",
+    "sddmm",
+    "spmm",
+    "spmv",
+]

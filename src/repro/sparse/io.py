@@ -1,0 +1,102 @@
+"""Matrix I/O: Matrix Market files and compact binary snapshots.
+
+So the reproduction can consume the *real* SuiteSparse matrices when
+they are available (``.mtx`` from https://sparse.tamu.edu) and so the
+synthetic benchmarks can be frozen to disk for exact cross-machine
+reproducibility (``.npz``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.sparse.matrix import COOMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market", "save_npz",
+           "load_npz"]
+
+
+def read_matrix_market(path: Union[str, os.PathLike]) -> COOMatrix:
+    """Read a Matrix Market coordinate file (general or symmetric).
+
+    Pattern files get no values; symmetric files are expanded to full
+    storage (both triangles), matching how the kernels consume them.
+    """
+    with open(path) as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError(f"{path}: not a Matrix Market file")
+        tokens = header.lower().split()
+        if "coordinate" not in tokens:
+            raise ValueError(f"{path}: only coordinate format is supported")
+        pattern = "pattern" in tokens
+        symmetric = "symmetric" in tokens
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        n_rows, n_cols, nnz = (int(x) for x in line.split())
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = None if pattern else np.empty(nnz, dtype=np.float64)
+        for i in range(nnz):
+            parts = fh.readline().split()
+            rows[i] = int(parts[0]) - 1       # 1-based on disk
+            cols[i] = int(parts[1]) - 1
+            if vals is not None:
+                vals[i] = float(parts[2])
+    if symmetric:
+        off_diag = rows != cols
+        mirrored_rows = cols[off_diag]
+        mirrored_cols = rows[off_diag]
+        rows = np.concatenate([rows, mirrored_rows])
+        cols = np.concatenate([cols, mirrored_cols])
+        if vals is not None:
+            vals = np.concatenate([vals, vals[off_diag]])
+    mat = COOMatrix(n_rows, n_cols, rows, cols, vals,
+                    name=os.path.splitext(os.path.basename(path))[0])
+    return mat.canonicalize()
+
+
+def write_matrix_market(matrix: COOMatrix, path: Union[str, os.PathLike]):
+    """Write a COO matrix as a general coordinate Matrix Market file."""
+    pattern = matrix.vals is None
+    field = "pattern" if pattern else "real"
+    with open(path, "w") as fh:
+        fh.write(f"%%MatrixMarket matrix coordinate {field} general\n")
+        fh.write(f"%{matrix.name}\n")
+        fh.write(f"{matrix.n_rows} {matrix.n_cols} {matrix.nnz}\n")
+        if pattern:
+            for r, c in zip(matrix.rows, matrix.cols):
+                fh.write(f"{r + 1} {c + 1}\n")
+        else:
+            for r, c, v in zip(matrix.rows, matrix.cols, matrix.vals):
+                fh.write(f"{r + 1} {c + 1} {float(v)!r}\n")
+
+
+def save_npz(matrix: COOMatrix, path: Union[str, os.PathLike]) -> None:
+    """Freeze a matrix to a compressed binary snapshot."""
+    payload = dict(
+        n_rows=matrix.n_rows,
+        n_cols=matrix.n_cols,
+        rows=matrix.rows,
+        cols=matrix.cols,
+        name=np.array(matrix.name),
+    )
+    if matrix.vals is not None:
+        payload["vals"] = matrix.vals
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path: Union[str, os.PathLike]) -> COOMatrix:
+    with np.load(path, allow_pickle=False) as data:
+        return COOMatrix(
+            int(data["n_rows"]),
+            int(data["n_cols"]),
+            data["rows"],
+            data["cols"],
+            data["vals"] if "vals" in data.files else None,
+            str(data["name"]),
+        )

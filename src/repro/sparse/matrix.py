@@ -1,0 +1,178 @@
+"""Sparse matrix containers.
+
+Two formats are used throughout the reproduction:
+
+- :class:`COOMatrix` — coordinate triplets, the output format of the
+  synthetic generators and the format the communication analyses
+  consume (a nonzero's column id *is* the property index it reads).
+- :class:`CSRMatrix` — compressed sparse rows, used by the compute
+  models and reference kernels.
+
+Values are optional: the communication study only needs structure, and
+keeping structure-only matrices halves memory for the large traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["COOMatrix", "CSRMatrix"]
+
+
+@dataclass
+class COOMatrix:
+    """Coordinate-format sparse matrix.
+
+    ``rows[k], cols[k]`` give the coordinates of nonzero ``k``; nonzeros
+    are kept sorted by (row, col) and deduplicated by
+    :meth:`canonicalize`, which generators call before returning.
+    """
+
+    n_rows: int
+    n_cols: int
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: Optional[np.ndarray] = None
+    name: str = ""
+
+    def __post_init__(self):
+        self.rows = np.asarray(self.rows, dtype=np.int64)
+        self.cols = np.asarray(self.cols, dtype=np.int64)
+        if self.rows.shape != self.cols.shape:
+            raise ValueError("rows and cols must have equal length")
+        if self.vals is not None:
+            self.vals = np.asarray(self.vals, dtype=np.float64)
+            if self.vals.shape != self.rows.shape:
+                raise ValueError("vals length must match rows/cols")
+        if self.nnz and (self.rows.min() < 0 or self.rows.max() >= self.n_rows):
+            raise ValueError("row index out of range")
+        if self.nnz and (self.cols.min() < 0 or self.cols.max() >= self.n_cols):
+            raise ValueError("col index out of range")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.rows.size)
+
+    @property
+    def shape(self) -> tuple:
+        return (self.n_rows, self.n_cols)
+
+    def canonicalize(self) -> "COOMatrix":
+        """Return a copy sorted by (row, col) with duplicates removed."""
+        keys = self.rows * self.n_cols + self.cols
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        keep = np.ones(keys.size, dtype=bool)
+        keep[1:] = keys[1:] != keys[:-1]
+        sel = order[keep]
+        vals = self.vals[sel] if self.vals is not None else None
+        return COOMatrix(
+            self.n_rows, self.n_cols, self.rows[sel], self.cols[sel], vals, self.name
+        )
+
+    def with_random_values(self, seed: int = 0) -> "COOMatrix":
+        """Attach uniform(0.1, 1.0) values (for numeric kernel tests)."""
+        rng = np.random.default_rng(seed)
+        vals = rng.uniform(0.1, 1.0, size=self.nnz)
+        return COOMatrix(self.n_rows, self.n_cols, self.rows, self.cols, vals, self.name)
+
+    def to_csr(self) -> "CSRMatrix":
+        order = np.argsort(self.rows * self.n_cols + self.cols, kind="stable")
+        rows, cols = self.rows[order], self.cols[order]
+        vals = self.vals[order] if self.vals is not None else None
+        indptr = np.zeros(self.n_rows + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CSRMatrix(self.n_rows, self.n_cols, indptr, cols, vals, self.name)
+
+    def to_scipy(self):
+        import scipy.sparse as sp
+
+        vals = self.vals if self.vals is not None else np.ones(self.nnz)
+        return sp.coo_matrix(
+            (vals, (self.rows, self.cols)), shape=(self.n_rows, self.n_cols)
+        )
+
+    # -- structure statistics used by the motivation analyses ---------
+
+    def row_degrees(self) -> np.ndarray:
+        return np.bincount(self.rows, minlength=self.n_rows)
+
+    def col_degrees(self) -> np.ndarray:
+        return np.bincount(self.cols, minlength=self.n_cols)
+
+    def bandwidth(self) -> int:
+        """Maximum |col - row| over nonzeros (diagonal concentration)."""
+        if not self.nnz:
+            return 0
+        return int(np.abs(self.cols - self.rows).max())
+
+    def mean_abs_offset(self) -> float:
+        """Mean |col - row|, a robust diagonal-concentration measure."""
+        if not self.nnz:
+            return 0.0
+        return float(np.abs(self.cols - self.rows).mean())
+
+
+@dataclass
+class CSRMatrix:
+    """Compressed-sparse-row matrix (structure plus optional values)."""
+
+    n_rows: int
+    n_cols: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: Optional[np.ndarray] = None
+    name: str = ""
+
+    def __post_init__(self):
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        if self.indptr.size != self.n_rows + 1:
+            raise ValueError("indptr must have n_rows + 1 entries")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr endpoints inconsistent with indices")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be nondecreasing")
+        if self.data is not None:
+            self.data = np.asarray(self.data, dtype=np.float64)
+            if self.data.shape != self.indices.shape:
+                raise ValueError("data length must match indices")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def shape(self) -> tuple:
+        return (self.n_rows, self.n_cols)
+
+    def row_slice(self, r: int) -> np.ndarray:
+        return self.indices[self.indptr[r] : self.indptr[r + 1]]
+
+    def to_coo(self) -> COOMatrix:
+        rows = np.repeat(np.arange(self.n_rows, dtype=np.int64), np.diff(self.indptr))
+        return COOMatrix(self.n_rows, self.n_cols, rows, self.indices, self.data, self.name)
+
+    def to_scipy(self):
+        import scipy.sparse as sp
+
+        data = self.data if self.data is not None else np.ones(self.nnz)
+        return sp.csr_matrix(
+            (data, self.indices, self.indptr), shape=(self.n_rows, self.n_cols)
+        )
+
+    @staticmethod
+    def from_scipy(mat, name: str = "") -> "CSRMatrix":
+        csr = mat.tocsr()
+        return CSRMatrix(
+            csr.shape[0],
+            csr.shape[1],
+            csr.indptr.astype(np.int64),
+            csr.indices.astype(np.int64),
+            csr.data.astype(np.float64),
+            name,
+        )

@@ -1,0 +1,118 @@
+"""SpGeMM: the paper's stated future-work kernel (§11).
+
+``C = A @ B`` with *both* matrices sparse.  Under 1D row partitioning,
+computing node p's rows of C requires, for every nonzero (i, j) of its
+A rows, the entire row j of B — a *variable-size* property.  This
+module provides the numerically validated reference kernel and the
+communication analysis NetSparse would need: row-request traces (the
+idx stream, exactly as for SpMM, but with per-idx payload weights),
+which the existing filter/coalesce machinery consumes unchanged, plus
+the byte accounting that a segmented Property Cache would have to tile
+(§6.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.core.filtering import filter_and_coalesce
+from repro.partition import OneDPartition
+from repro.sparse.matrix import COOMatrix, CSRMatrix
+
+__all__ = ["spgemm", "SpGemmCommStats", "spgemm_comm_analysis"]
+
+
+def spgemm(a: COOMatrix, b: COOMatrix) -> CSRMatrix:
+    """Reference sparse x sparse multiplication (via scipy)."""
+    if a.n_cols != b.n_rows:
+        raise ValueError(
+            f"inner dimensions differ: {a.n_cols} vs {b.n_rows}"
+        )
+    product = (a.to_scipy().tocsr() @ b.to_scipy().tocsr()).tocsr()
+    return CSRMatrix.from_scipy(product, name=f"{a.name}@{b.name}")
+
+
+@dataclass
+class SpGemmCommStats:
+    """Communication accounting for distributed SpGeMM on N nodes."""
+
+    n_nodes: int
+    row_requests: int             # remote B-row requests before dedup
+    unique_row_requests: int      # after per-node dedup (useful)
+    issued_after_fc: int          # after NetSparse filter/coalesce
+    useful_bytes: float           # unique remote B-row payload bytes
+    sa_bytes: float               # bytes if every request is served
+    su_bytes: float               # bytes if B is replicated everywhere
+    max_row_bytes: int            # largest single property (cache tiling)
+
+    @property
+    def fc_rate(self) -> float:
+        if self.row_requests == 0:
+            return 0.0
+        return 1.0 - self.issued_after_fc / self.row_requests
+
+    @property
+    def su_overfetch(self) -> float:
+        return self.su_bytes / max(self.useful_bytes, 1.0)
+
+
+def spgemm_comm_analysis(
+    a: COOMatrix,
+    b: COOMatrix,
+    n_nodes: int,
+    bytes_per_nonzero: int = 8,
+    n_units: int = 16,
+    inflight_frac: float = 0.03,
+) -> SpGemmCommStats:
+    """Analyze the remote B-row traffic of a 1D-partitioned SpGeMM.
+
+    The request stream per node is A's remote column ids in scan order
+    — identical in shape to the SpMM PR stream, so the Idx Filter and
+    Pending PR Table apply verbatim.  Payloads differ: row j of B costs
+    ``nnz(B[j]) * bytes_per_nonzero`` wire bytes.
+    """
+    if a.n_cols != b.n_rows:
+        raise ValueError("inner dimensions differ")
+    part = OneDPartition(a, n_nodes)
+    b_row_nnz = np.bincount(b.rows, minlength=b.n_rows)
+    row_bytes = b_row_nnz * bytes_per_nonzero
+
+    requests = 0
+    unique_requests = 0
+    issued = 0
+    useful_bytes = 0.0
+    sa_bytes = 0.0
+    for tr in part.node_traces():
+        remote = tr.remote_idxs
+        requests += remote.size
+        if remote.size == 0:
+            continue
+        uniq = np.unique(remote)
+        unique_requests += uniq.size
+        useful_bytes += float(row_bytes[uniq].sum())
+        sa_bytes += float(row_bytes[remote].sum())
+        fr = filter_and_coalesce(
+            remote,
+            n_units=n_units,
+            batch_size=max(remote.size // (n_units * 4), 1),
+            inflight_window=max(int(inflight_frac * remote.size), 1),
+        )
+        issued += fr.n_issued
+
+    total_b_bytes = float(row_bytes.sum())
+    su_bytes = 0.0
+    for p in range(n_nodes):
+        own = row_bytes[part.col_starts[p]:part.col_starts[p + 1]].sum()
+        su_bytes += total_b_bytes - float(own)
+
+    return SpGemmCommStats(
+        n_nodes=n_nodes,
+        row_requests=requests,
+        unique_row_requests=unique_requests,
+        issued_after_fc=issued,
+        useful_bytes=useful_bytes,
+        sa_bytes=sa_bytes,
+        su_bytes=su_bytes,
+        max_row_bytes=int(row_bytes.max()) if row_bytes.size else 0,
+    )

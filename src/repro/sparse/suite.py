@@ -1,0 +1,163 @@
+"""Benchmark registry: the paper's five matrices at configurable scale.
+
+Table 6 of the paper lists arabic-2005 (23M rows / 640M nnz),
+europe_osm (51M / 108M), queen_4147 (4M / 317M), stokes (11M / 350M)
+and uk-2002 (19M / 298M).  We generate structure-matched synthetics
+(see :mod:`repro.sparse.synthetic`) scaled down so the 128-node cluster
+model runs in seconds; the relative row counts and nonzeros-per-row of
+the originals are preserved.
+
+Scales
+------
+``tiny``    ~100k nnz total per matrix — unit tests.
+``small``   ~1–2M nnz — default for the experiment harness.
+``medium``  ~4–8M nnz — closer structural statistics, minutes per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict
+
+from repro.sparse.matrix import COOMatrix
+from repro.sparse import synthetic
+
+__all__ = ["BenchmarkSpec", "BENCHMARKS", "MATRIX_NAMES", "load_benchmark"]
+
+#: Canonical matrix order used in every paper table.
+MATRIX_NAMES = ("arabic", "europe", "queen", "stokes", "uk")
+
+#: Row counts per scale, chosen to preserve the paper's relative sizes
+#: (europe has the most rows, queen the fewest).
+_SCALE_ROWS: Dict[str, Dict[str, int]] = {
+    "tiny": {
+        "arabic": 1 << 13,
+        "europe": 1 << 14,
+        "queen": 1 << 12,
+        "stokes": 1 << 13,
+        "uk": 1 << 13,
+    },
+    "small": {
+        "arabic": 1 << 17,
+        "europe": 1 << 18,
+        "queen": 1 << 15,
+        "stokes": 1 << 16,
+        "uk": 1 << 17,
+    },
+    "medium": {
+        "arabic": 1 << 19,
+        "europe": 1 << 20,
+        "queen": 1 << 17,
+        "stokes": 1 << 18,
+        "uk": 1 << 19,
+    },
+}
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """A named benchmark matrix family.
+
+    ``paper_rows_m`` / ``paper_nnz_m`` record the original SuiteSparse
+    sizes (in millions) from Table 6; ``default_rig_batch`` is the RIG
+    batch size the paper uses for this matrix (§8.2), scaled in the
+    cluster model by the matrix scale factor.
+    """
+
+    name: str
+    generator: Callable[..., COOMatrix]
+    gen_kwargs: Dict
+    paper_rows_m: float
+    paper_nnz_m: float
+    default_rig_batch: int
+    domain: str
+
+    def rows_for_scale(self, scale: str) -> int:
+        try:
+            return _SCALE_ROWS[scale][self.name]
+        except KeyError:
+            raise ValueError(
+                f"unknown scale {scale!r}; expected one of {sorted(_SCALE_ROWS)}"
+            ) from None
+
+    def generate(self, scale: str = "small", seed: int = 7) -> COOMatrix:
+        n = self.rows_for_scale(scale)
+        mat = self.generator(n=n, seed=seed, name=self.name, **self.gen_kwargs)
+        return mat
+
+
+BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    "arabic": BenchmarkSpec(
+        name="arabic",
+        generator=synthetic.web_crawl,
+        gen_kwargs=dict(mean_degree=26.0, locality=0.72, hub_alpha=1.2,
+                        page_alpha=1.3, block_size=512, escape_frac=0.03),
+        paper_rows_m=23.0,
+        paper_nnz_m=640.0,
+        default_rig_batch=32 * 1024,
+        domain="web crawl",
+    ),
+    "europe": BenchmarkSpec(
+        name="europe",
+        generator=synthetic.road_network,
+        gen_kwargs=dict(mean_degree=2.2, long_range_frac=0.25),
+        paper_rows_m=51.0,
+        paper_nnz_m=108.0,
+        default_rig_batch=8 * 1024,
+        domain="road network",
+    ),
+    "queen": BenchmarkSpec(
+        name="queen",
+        generator=synthetic.banded_fem,
+        gen_kwargs=dict(mean_degree=56.0, band=160),
+        paper_rows_m=4.0,
+        paper_nnz_m=317.0,
+        default_rig_batch=32 * 1024,
+        domain="3D structural FEM",
+    ),
+    "stokes": BenchmarkSpec(
+        name="stokes",
+        generator=synthetic.coupled_flow,
+        gen_kwargs=dict(mean_degree=26.0, band=48, coupling_frac=0.3),
+        paper_rows_m=11.0,
+        paper_nnz_m=350.0,
+        default_rig_batch=32 * 1024,
+        domain="coupled flow",
+    ),
+    "uk": BenchmarkSpec(
+        name="uk",
+        generator=synthetic.web_crawl,
+        gen_kwargs=dict(mean_degree=16.0, locality=0.55, hub_alpha=1.15,
+                        page_alpha=1.1, block_size=256, escape_frac=0.10),
+        paper_rows_m=19.0,
+        paper_nnz_m=298.0,
+        default_rig_batch=8 * 1024,
+        domain="web crawl",
+    ),
+}
+
+
+@lru_cache(maxsize=32)
+def _load_cached(name: str, scale: str, seed: int) -> COOMatrix:
+    return BENCHMARKS[name].generate(scale=scale, seed=seed)
+
+
+def load_benchmark(name: str, scale: str = "small", seed: int = 7) -> COOMatrix:
+    """Generate (and memoize) a benchmark matrix.
+
+    Raises ``KeyError`` with the available names for typos.
+    """
+    if name not in BENCHMARKS:
+        raise KeyError(f"unknown benchmark {name!r}; available: {MATRIX_NAMES}")
+    return _load_cached(name, scale, seed)
+
+
+def scale_factor(name: str, matrix: COOMatrix) -> float:
+    """This matrix's nnz over the original SuiteSparse matrix's nnz.
+
+    The cluster model uses this to scale size-coupled quantities (RIG
+    batch, per-command overhead, Property Cache capacity) so ratios
+    survive the downscaling (DESIGN.md §5).
+    """
+    return matrix.nnz / (BENCHMARKS[name].paper_nnz_m * 1e6)

@@ -1,0 +1,129 @@
+"""Tests for the compute models and the hardware overhead models."""
+
+import pytest
+
+from repro.accel import SPR_DDR, SPR_HBM, SpadeConfig, spmm_compute_time
+from repro.config import NetSparseConfig
+from repro.hw import TechModel, rig_unit_area_breakdown, snic_overheads
+from repro.hw.snic import snic_storage_bytes, snic_totals
+from repro.hw.switch import crossbar_area_range_mm2, switch_totals
+
+
+class TestSpade:
+    def test_time_positive_and_monotone_in_work(self):
+        t1 = spmm_compute_time(10_000, 1000, 5000, 16)
+        t2 = spmm_compute_time(100_000, 1000, 5000, 16)
+        assert 0 < t1 < t2
+
+    def test_memory_bound_for_small_k(self):
+        """Sparse kernels are memory bound at small K (low arithmetic
+        intensity): doubling bandwidth halves time."""
+        fast = SpadeConfig(mem_bandwidth=1600e9)
+        slow = SpadeConfig(mem_bandwidth=800e9)
+        t_fast = spmm_compute_time(1_000_000, 1_000_000, 1_000_000, 1, fast)
+        t_slow = spmm_compute_time(1_000_000, 1_000_000, 1_000_000, 1, slow)
+        assert t_slow == pytest.approx(2 * t_fast, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spmm_compute_time(-1, 0, 0, 16)
+        with pytest.raises(ValueError):
+            spmm_compute_time(10, 10, 10, 0)
+
+    def test_k_scaling_superlinear_region(self):
+        t16 = spmm_compute_time(1_000_000, 10_000, 100_000, 16)
+        t128 = spmm_compute_time(1_000_000, 10_000, 100_000, 128)
+        assert 4 < t128 / t16 <= 9
+
+
+class TestCpu:
+    def test_hbm_faster_than_ddr(self):
+        nnz, rows, cols = 1_000_000, 50_000, 200_000
+        t_ddr = spmm_compute_time(nnz, rows, cols, 128, SPR_DDR.as_roofline())
+        t_hbm = spmm_compute_time(nnz, rows, cols, 128, SPR_HBM.as_roofline())
+        assert t_hbm < t_ddr
+
+    def test_spade_faster_than_cpu(self):
+        """The accelerator beats both CPUs (why Fig 13 exposes comms)."""
+        nnz, rows, cols = 1_000_000, 50_000, 200_000
+        t_spade = spmm_compute_time(nnz, rows, cols, 128, SpadeConfig())
+        t_ddr = spmm_compute_time(nnz, rows, cols, 128, SPR_DDR.as_roofline())
+        assert t_spade < t_ddr
+
+
+class TestTechModel:
+    def test_unsupported_node(self):
+        with pytest.raises(ValueError):
+            TechModel(33)
+
+    def test_scaling_shrinks_area(self):
+        big = TechModel(45).sram("s", 1 << 20, 1e9)
+        small = TechModel(10).sram("s", 1 << 20, 1e9)
+        assert small.area_mm2 < 0.1 * big.area_mm2
+
+    def test_cam_larger_than_sram(self):
+        t = TechModel(10)
+        s = t.sram("s", 4096, 1e9)
+        c = t.cam("c", 4096, 1e9, entry_bytes=16)
+        assert c.area_mm2 > s.area_mm2
+
+    def test_combine_sums(self):
+        t = TechModel(10)
+        a, b = t.sram("a", 1024, 1e9), t.sram("b", 1024, 1e9)
+        both = TechModel.combine("ab", [a, b])
+        assert both.area_mm2 == pytest.approx(a.area_mm2 + b.area_mm2)
+
+
+class TestSnicOverheads:
+    """§9.5: the paper's numbers the model must land near."""
+
+    def test_total_area_near_paper(self):
+        assert snic_totals().area_mm2 == pytest.approx(1.43, rel=0.25)
+
+    def test_total_power_near_paper(self):
+        total = snic_totals()
+        assert total.total_power_w == pytest.approx(2.1, rel=0.35)
+
+    def test_l2_dominates_area(self):
+        parts = snic_overheads()
+        assert parts["L2s"].area_mm2 == max(p.area_mm2 for p in parts.values())
+
+    def test_rig_units_dominate_dynamic_power(self):
+        parts = snic_overheads()
+        assert parts["RIG Units"].dynamic_w == max(
+            p.dynamic_w for p in parts.values()
+        )
+
+    def test_pending_table_dominates_rig_area(self):
+        shares = rig_unit_area_breakdown()
+        assert shares["Pend. PR Table"] == max(shares.values())
+        assert shares["Pend. PR Table"] == pytest.approx(0.53, abs=0.1)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_storage_near_3_5_mb(self):
+        assert snic_storage_bytes() == pytest.approx(3.5e6, rel=0.15)
+
+
+class TestSwitchOverheads:
+    def test_area_near_paper(self):
+        # Paper: caches 21.3 + concatenators 1.5 mm^2.
+        assert switch_totals().area_mm2 == pytest.approx(22.8, rel=0.25)
+
+    def test_power_near_paper(self):
+        assert switch_totals().total_power_w == pytest.approx(10.0, rel=0.4)
+
+    def test_crossbar_range(self):
+        lo, hi = crossbar_area_range_mm2()
+        assert lo == pytest.approx(7.0)
+        assert hi == pytest.approx(105.0)
+
+
+def test_config_feature_levels():
+    from repro.config import FeatureFlags
+
+    rig = FeatureFlags.ablation_level("rig")
+    assert rig.rig_offload and not rig.filtering
+    switch = FeatureFlags.ablation_level("switch")
+    assert switch.property_cache and switch.concat_switch
+    with pytest.raises(ValueError):
+        FeatureFlags.ablation_level("everything")

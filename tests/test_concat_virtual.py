@@ -1,0 +1,178 @@
+"""Tests for the virtualized Concatenation Queues (§7.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.concat import DelayQueueConcatenator
+from repro.core.concat_virtual import VirtualConcatenator
+from repro.sim import Simulator
+
+
+def collector():
+    emitted = []
+
+    def on_emit(prs, dest, pr_type):
+        emitted.append((list(prs), dest, pr_type))
+
+    return emitted, on_emit
+
+
+def make(sim, max_prs=16, delay=1.0, n_physical=8, phys_cap=4, on_emit=None):
+    emitted, cb = collector()
+    vc = VirtualConcatenator(
+        sim, max_prs_per_packet=max_prs, delay=delay,
+        on_emit=on_emit or cb, n_physical=n_physical,
+        physical_capacity_prs=phys_cap,
+    )
+    return vc, emitted
+
+
+def test_full_virtual_cq_flushes_as_one_packet():
+    sim = Simulator()
+    vc, emitted = make(sim, max_prs=6, phys_cap=2, n_physical=8)
+    for i in range(6):
+        vc.push(i, dest=3, pr_type="read")
+    assert len(emitted) == 1
+    assert emitted[0] == (list(range(6)), 3, "read")
+    # All physical queues returned to the pool.
+    assert vc.physical_in_use == 0
+
+
+def test_chaining_across_physical_queues():
+    sim = Simulator()
+    vc, emitted = make(sim, max_prs=100, phys_cap=2, n_physical=8)
+    for i in range(5):
+        vc.push(i, dest=0, pr_type="read")
+    # 5 PRs over 2-entry physical queues -> 3 in use, nothing emitted.
+    assert vc.physical_in_use == 3
+    assert emitted == []
+    vc.flush()
+    assert emitted == [([0, 1, 2, 3, 4], 0, "read")]
+
+
+def test_pool_exhaustion_flushes_fullest_victim():
+    sim = Simulator()
+    vc, emitted = make(sim, max_prs=100, phys_cap=1, n_physical=3)
+    vc.push("a1", dest=0, pr_type="read")
+    vc.push("a2", dest=0, pr_type="read")
+    vc.push("b1", dest=1, pr_type="read")
+    # Pool is exhausted; the next push evicts dest 0 (fullest).
+    vc.push("b2", dest=1, pr_type="read")
+    assert vc.stats_early_flushes == 1
+    assert emitted[0] == (["a1", "a2"], 0, "read")
+    vc.flush()
+    assert (["b1", "b2"], 1, "read") in emitted
+
+
+def test_delay_expiry_flushes():
+    sim = Simulator()
+    vc, emitted = make(sim, delay=2.0)
+
+    def pusher():
+        vc.push("x", dest=5, pr_type="response")
+        yield sim.timeout(10.0)
+
+    sim.process(pusher())
+    sim.run()
+    assert emitted == [(["x"], 5, "response")]
+    assert vc.stats_packets == 1
+
+
+def test_mtu_respected_on_overfull_flush():
+    sim = Simulator()
+    vc, emitted = make(sim, max_prs=4, phys_cap=3, n_physical=8, delay=100.0)
+    # Push 4 -> auto flush at occupancy >= max_prs.
+    for i in range(4):
+        vc.push(i, dest=0, pr_type="read")
+    assert all(len(p) <= 4 for p, _, _ in emitted)
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        VirtualConcatenator(sim, 0, 1.0, lambda *a: None)
+    with pytest.raises(ValueError):
+        VirtualConcatenator(sim, 4, -1.0, lambda *a: None)
+    with pytest.raises(ValueError):
+        VirtualConcatenator(sim, 4, 1.0, lambda *a: None, n_physical=0)
+
+
+def test_peak_usage_tracked():
+    sim = Simulator()
+    vc, _ = make(sim, max_prs=100, phys_cap=1, n_physical=8)
+    for d in range(5):
+        vc.push("pr", dest=d, pr_type="read")
+    assert vc.stats_peak_physical_in_use == 5
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    dests=st.lists(st.integers(0, 9), max_size=200),
+    maxp=st.integers(1, 20),
+    n_phys=st.integers(1, 16),
+    cap=st.integers(1, 8),
+)
+def test_property_pr_conservation(dests, maxp, n_phys, cap):
+    """INVARIANT: virtualization neither loses nor duplicates PRs and
+    never exceeds the MTU, under any pool pressure."""
+    sim = Simulator()
+    emitted, cb = collector()
+    vc = VirtualConcatenator(sim, maxp, delay=0.0, on_emit=cb,
+                             n_physical=n_phys, physical_capacity_prs=cap)
+    for i, d in enumerate(dests):
+        vc.push(i, dest=d, pr_type="read")
+    vc.flush()
+    out = [pr for prs, _, _ in emitted for pr in prs]
+    assert sorted(out) == list(range(len(dests)))
+    assert all(len(prs) <= maxp for prs, _, _ in emitted)
+    # Destination purity: every packet's PRs share its destination.
+    for prs, dest, _ in emitted:
+        assert all(dests[pr] == dest for pr in prs)
+
+
+def test_matches_dedicated_cqs_when_pool_is_ample():
+    """With a generous pool, virtualized CQs emit the same packet count
+    as the per-destination design on the same stream."""
+    rng = np.random.default_rng(0)
+    dests = rng.integers(0, 6, size=500)
+
+    def run(ctor):
+        sim = Simulator()
+        emitted, cb = collector()
+        cq = ctor(sim, cb)
+
+        def feeder():
+            for d in dests:
+                cq.push("pr", dest=int(d), pr_type="read")
+                yield sim.timeout(0.01)
+
+        sim.process(feeder())
+        sim.run()
+        cq.flush()
+        return len(emitted)
+
+    dedicated = run(lambda sim, cb: DelayQueueConcatenator(
+        sim, max_prs_per_packet=10, delay=0.5, on_emit=cb))
+    virtual = run(lambda sim, cb: VirtualConcatenator(
+        sim, max_prs_per_packet=10, delay=0.5, on_emit=cb,
+        n_physical=64, physical_capacity_prs=4))
+    assert virtual == pytest.approx(dedicated, rel=0.15)
+
+
+def test_small_pool_degrades_but_conserves():
+    """A starved pool produces more, smaller packets — never lost PRs."""
+    rng = np.random.default_rng(1)
+    dests = rng.integers(0, 12, size=400)
+    sim = Simulator()
+    emitted, cb = collector()
+    vc = VirtualConcatenator(sim, max_prs_per_packet=16, delay=1e9,
+                             on_emit=cb, n_physical=2,
+                             physical_capacity_prs=2)
+    for i, d in enumerate(dests):
+        vc.push(i, dest=int(d), pr_type="read")
+    vc.flush()
+    assert vc.stats_early_flushes > 0
+    out = [pr for prs, _, _ in emitted for pr in prs]
+    assert sorted(out) == list(range(400))

@@ -1,0 +1,80 @@
+"""Tests for NetSparseConfig and FeatureFlags."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import FeatureFlags, NetSparseConfig
+
+
+def test_defaults_match_table5():
+    cfg = NetSparseConfig()
+    assert cfg.n_nodes == 128
+    assert cfg.n_racks * cfg.nodes_per_rack == 128
+    assert cfg.link_bandwidth == pytest.approx(50e9)       # 400 Gbps
+    assert cfg.mtu == 1500
+    assert cfg.n_rig_units == 32
+    assert cfg.rig_batch_nonzeros == 32 * 1024
+    assert cfg.pending_pr_entries == 256
+    assert cfg.concat_delay_cycles_nic == 500
+    assert cfg.concat_delay_cycles_switch == 125
+    assert cfg.pcache_bytes == 32 * 1024 * 1024
+    assert cfg.pcache_ways == 16
+    assert cfg.pcache_segments == 32
+    assert cfg.snic_freq == pytest.approx(2.2e9)
+    assert cfg.switch_freq == pytest.approx(2.0e9)
+
+
+def test_config_is_frozen():
+    cfg = NetSparseConfig()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        cfg.mtu = 9000
+
+
+def test_n_client_units_is_half():
+    assert NetSparseConfig().n_client_units == 16
+    assert NetSparseConfig(n_rig_units=8).n_client_units == 4
+
+
+def test_with_features_returns_new_config():
+    cfg = NetSparseConfig()
+    off = cfg.with_features(property_cache=False)
+    assert off.features.property_cache is False
+    assert cfg.features.property_cache is True
+    assert off.mtu == cfg.mtu
+
+
+def test_sw_pr_cost_components():
+    cfg = NetSparseConfig()
+    assert cfg.sw_pr_cost(0) == pytest.approx(cfg.sw_pr_cost_fixed)
+    assert cfg.sw_pr_cost(100) == pytest.approx(
+        cfg.sw_pr_cost_fixed + 100 * cfg.sw_pr_cost_per_byte
+    )
+
+
+def test_feature_flags_default_all_on():
+    f = FeatureFlags()
+    assert all(
+        getattr(f, name)
+        for name in ("rig_offload", "filtering", "coalescing",
+                     "concat_nic", "concat_switch", "property_cache")
+    )
+
+
+def test_ablation_levels_are_cumulative():
+    prev_count = -1
+    for level in ("rig", "filter", "coalesce", "conc_nic", "switch"):
+        f = FeatureFlags.ablation_level(level)
+        count = sum(
+            getattr(f, name)
+            for name in ("rig_offload", "filtering", "coalescing",
+                         "concat_nic", "concat_switch", "property_cache")
+        )
+        assert count > prev_count
+        prev_count = count
+
+
+def test_config_hashable_for_caching():
+    a, b = NetSparseConfig(), NetSparseConfig()
+    assert hash(a) == hash(b)
+    assert a == b

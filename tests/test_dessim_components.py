@@ -1,0 +1,198 @@
+"""Unit tests for the DES cluster's components: links, NIC, ToR."""
+
+import numpy as np
+import pytest
+
+from repro.config import NetSparseConfig
+from repro.core.rig import ReadPR, ResponsePR
+from repro.dessim.components import NetPacket, SerialLink, packet_wire_bytes
+from repro.dessim.nic import DesHostNic
+from repro.dessim.switch import DesSpine, DesToR
+from repro.sim import Simulator, Store
+
+CFG = NetSparseConfig()
+
+
+def read_pr(idx, src=0, tid=0):
+    return ReadPR(idx=idx, src_node=src, src_tid=tid)
+
+
+class TestSerialLink:
+    def test_wire_bytes_and_counters(self):
+        sim = Simulator()
+        sink = Store(sim)
+        link = SerialLink(sim, "l", sink, CFG)
+        pkt = NetPacket("read", 0, 1, [read_pr(1), read_pr(2)], 0)
+
+        def feed():
+            yield link.send(pkt)
+
+        sim.process(feed())
+        sim.run()
+        assert len(sink) == 1
+        assert link.packets_carried == 1
+        assert link.prs_carried == 2
+        assert link.bytes_carried == packet_wire_bytes(pkt, CFG)
+
+    def test_packet_wire_bytes_matches_protocol(self):
+        pkt1 = NetPacket("read", 0, 1, [read_pr(1)], 0)
+        assert packet_wire_bytes(pkt1, CFG) == 78
+        pkt3 = NetPacket("response", 0, 1,
+                         [read_pr(i) for i in range(3)], 64)
+        assert packet_wire_bytes(pkt3, CFG) == 64 + 3 * (18 + 64)
+
+    def test_serialization_time(self):
+        sim = Simulator()
+        sink = Store(sim)
+        link = SerialLink(sim, "l", sink, CFG, bandwidth=1e6, latency=0.5)
+        pkt = NetPacket("read", 0, 1, [read_pr(1)], 0)  # 78 B
+
+        def feed():
+            yield link.send(pkt)
+
+        sim.process(feed())
+        sim.run()
+        assert sim.now == pytest.approx(78 / 1e6 + 0.5)
+
+    def test_fifo_across_packets(self):
+        sim = Simulator()
+        sink = Store(sim)
+        link = SerialLink(sim, "l", sink, CFG)
+        pkts = [NetPacket("read", 0, 1, [read_pr(i)], 0) for i in range(5)]
+
+        def feed():
+            for p in pkts:
+                yield link.send(p)
+
+        sim.process(feed())
+        sim.run()
+        assert [p.prs[0].idx for p in sink.items] == list(range(5))
+
+
+class TestDesToR:
+    def build(self, enable_cache=True):
+        sim = Simulator()
+        tor = DesToR(sim, rack=0, hosts=[0, 1], payload_bytes=64,
+                     config=CFG, rack_of=lambda n: n // 2,
+                     enable_cache=enable_cache, concat_delay=1e-7)
+        host_sinks = {h: Store(sim) for h in (0, 1)}
+        spine_sink = Store(sim)
+        for h, sink in host_sinks.items():
+            tor.host_links[h] = SerialLink(sim, f"d{h}", sink, CFG)
+        tor.spine_links.append(SerialLink(sim, "up", spine_sink, CFG))
+        return sim, tor, host_sinks, spine_sink
+
+    def test_read_miss_forwarded_upstream(self):
+        sim, tor, hosts, spine = self.build()
+        pkt = NetPacket("read", 0, 3, [read_pr(500, src=0)], 0)
+
+        def feed():
+            yield tor.rx.put(pkt)
+
+        sim.process(feed())
+        sim.run()
+        assert len(spine) == 1
+        assert len(hosts[0]) == 0
+
+    def test_response_cached_then_read_turns_around(self):
+        sim, tor, hosts, spine = self.build()
+
+        def feed():
+            # A response for idx 500 passes through toward host 1.
+            resp = ResponsePR(idx=500, dst_node=1, dst_tid=0,
+                              request_id=1, payload_bytes=64)
+            yield tor.rx.put(NetPacket("response", 3, 1, [resp], 64))
+            yield sim.timeout(1e-5)
+            # A later read for 500 from host 0 hits and turns around.
+            yield tor.rx.put(NetPacket("read", 0, 3, [read_pr(500, 0)], 0))
+
+        sim.process(feed())
+        sim.run()
+        assert tor.stats_turnaround == 1
+        assert len(spine) == 0                  # never left the rack
+        assert len(hosts[1]) == 1               # original response
+        assert len(hosts[0]) == 1               # turned-around response
+        back = hosts[0].items[0]
+        assert back.pr_type == "response"
+        assert back.prs[0].idx == 500
+
+    def test_cache_disabled_never_turns_around(self):
+        sim, tor, hosts, spine = self.build(enable_cache=False)
+
+        def feed():
+            resp = ResponsePR(idx=7, dst_node=1, dst_tid=0,
+                              request_id=1, payload_bytes=64)
+            yield tor.rx.put(NetPacket("response", 3, 1, [resp], 64))
+            yield sim.timeout(1e-5)
+            yield tor.rx.put(NetPacket("read", 0, 3, [read_pr(7, 0)], 0))
+
+        sim.process(feed())
+        sim.run()
+        assert tor.stats_turnaround == 0
+        assert len(spine) == 1
+
+    def test_mixed_packet_splits_hits_and_misses(self):
+        sim, tor, hosts, spine = self.build()
+
+        def feed():
+            resp = ResponsePR(idx=1, dst_node=1, dst_tid=0,
+                              request_id=1, payload_bytes=64)
+            yield tor.rx.put(NetPacket("response", 3, 1, [resp], 64))
+            yield sim.timeout(1e-5)
+            prs = [read_pr(1, 0), read_pr(2, 0)]   # 1 hits, 2 misses
+            yield tor.rx.put(NetPacket("read", 0, 3, prs, 0))
+
+        sim.process(feed())
+        sim.run()
+        assert tor.stats_turnaround == 1
+        assert len(spine) == 1
+        assert spine.items[0].prs[0].idx == 2
+
+
+class TestDesSpine:
+    def test_routes_by_destination_rack(self):
+        sim = Simulator()
+        spine = DesSpine(sim, 0, rack_of=lambda n: n // 2)
+        sinks = {r: Store(sim) for r in (0, 1)}
+        for r, sink in sinks.items():
+            spine.tor_links[r] = SerialLink(sim, f"s->t{r}", sink, CFG)
+
+        def feed():
+            yield spine.rx.put(NetPacket("read", 0, 3, [read_pr(9)], 0))
+            yield spine.rx.put(NetPacket("read", 2, 0, [read_pr(8)], 0))
+
+        sim.process(feed())
+        sim.run()
+        assert len(sinks[1]) == 1   # node 3 -> rack 1
+        assert len(sinks[0]) == 1   # node 0 -> rack 0
+
+
+class TestDesHostNic:
+    def test_destination_solver_uses_col_owner(self):
+        sim = Simulator()
+        col_owner = np.array([0, 0, 1, 1, 2, 2], dtype=np.int64)
+        nic = DesHostNic(sim, node=0, col_owner=col_owner,
+                         payload_bytes=64, config=CFG, concat_delay=1e-8)
+        sink = Store(sim)
+        nic.uplink = SerialLink(sim, "up", sink, CFG)
+        nic.execute_gather([3, 5])
+        sim.run(until=1e-3)
+        dests = sorted(p.dst_node for p in sink.items)
+        assert dests == [1, 2]
+
+    def test_unwired_nic_raises(self):
+        sim = Simulator()
+        nic = DesHostNic(sim, node=0,
+                         col_owner=np.zeros(4, dtype=np.int64),
+                         payload_bytes=64, config=CFG, concat_delay=0.0)
+        with pytest.raises(RuntimeError):
+            nic.execute_gather([1])
+
+    def test_gather_splits_over_units(self):
+        sim = Simulator()
+        col_owner = np.ones(100, dtype=np.int64)
+        nic = DesHostNic(sim, node=0, col_owner=col_owner,
+                         payload_bytes=64, config=CFG, n_client_units=4)
+        nic.uplink = SerialLink(sim, "up", Store(sim), CFG)
+        events = nic.execute_gather(list(range(8)))
+        assert len(events) == 4

@@ -1,0 +1,133 @@
+"""Tests for the end-to-end strong-scaling model and the correctness of
+distributed execution (the communication layer must never change the
+numerics)."""
+
+import numpy as np
+import pytest
+
+from repro.accel import SpadeConfig
+from repro.cluster import simulate_netsparse, simulate_saopt, simulate_suopt
+from repro.cluster.endtoend import (
+    end_to_end_time,
+    per_node_compute_times,
+    single_node_time,
+)
+from repro.config import NetSparseConfig
+from repro.core.filtering import filter_and_coalesce
+from repro.partition import OneDPartition
+from repro.sparse import spmm
+from repro.sparse.suite import load_benchmark
+
+CFG16 = NetSparseConfig(n_nodes=16, n_racks=4, nodes_per_rack=4)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return load_benchmark("arabic", "tiny")
+
+
+@pytest.fixture(scope="module")
+def comm(matrix):
+    from repro.network import LeafSpine
+
+    topo = LeafSpine(n_racks=4, nodes_per_rack=4, n_spines=2)
+    return simulate_netsparse(matrix, 16, CFG16, topo)
+
+
+def test_single_node_time_positive(matrix):
+    assert single_node_time(matrix, 16) > 0
+
+
+def test_per_node_compute_imbalance(matrix):
+    times = per_node_compute_times(matrix, 16, 16)
+    assert times.shape == (16,)
+    # Power-law rows create compute imbalance: ideal speedup < n_nodes.
+    ideal = single_node_time(matrix, 16) / times.max()
+    assert 1 < ideal < 16
+
+
+def test_end_to_end_combines_phases(matrix, comm):
+    res = end_to_end_time(matrix, 16, comm, overlap=0.0)
+    assert res.total_time == pytest.approx(res.compute_time + comm.total_time)
+    assert res.speedup_over_single_node > 0
+    assert res.ideal_speedup >= res.speedup_over_single_node
+
+
+def test_overlap_interpolates(matrix, comm):
+    serial = end_to_end_time(matrix, 16, comm, overlap=0.0)
+    perfect = end_to_end_time(matrix, 16, comm, overlap=1.0)
+    half = end_to_end_time(matrix, 16, comm, overlap=0.5)
+    assert perfect.total_time <= half.total_time <= serial.total_time
+    assert perfect.total_time == pytest.approx(
+        max(serial.compute_time, comm.total_time)
+    )
+
+
+def test_overlap_validation(matrix, comm):
+    with pytest.raises(ValueError):
+        end_to_end_time(matrix, 16, comm, overlap=1.5)
+
+
+def test_comm_to_comp_ratio(matrix, comm):
+    res = end_to_end_time(matrix, 16, comm)
+    assert res.comm_to_comp_ratio == pytest.approx(
+        comm.total_time / res.compute_time
+    )
+
+
+def test_netsparse_scales_better_than_baselines(matrix):
+    """The Figure 13 ordering: NetSparse > SAOpt > SUOpt end-to-end."""
+    from repro.network import LeafSpine
+    from repro.sparse.suite import scale_factor
+
+    topo = LeafSpine(n_racks=4, nodes_per_rack=4, n_spines=2)
+    k = 16
+    sc = scale_factor("arabic", matrix)
+    ns = end_to_end_time(
+        matrix, k, simulate_netsparse(matrix, k, CFG16, topo, scale=sc)
+    )
+    sa = end_to_end_time(matrix, k, simulate_saopt(matrix, k, CFG16, scale=sc))
+    su = end_to_end_time(matrix, k, simulate_suopt(matrix, k, CFG16))
+    assert ns.speedup_over_single_node > sa.speedup_over_single_node
+    assert ns.speedup_over_single_node > su.speedup_over_single_node
+
+
+class TestDistributedCorrectness:
+    """INVARIANT: however communication is filtered/coalesced/cached,
+    the distributed SpMM output equals the single-node reference."""
+
+    def test_distributed_spmm_with_filtering_matches_reference(self, matrix):
+        k = 8
+        m = matrix.with_random_values(seed=11)
+        rng = np.random.default_rng(12)
+        b = rng.normal(size=(m.n_cols, k))
+        reference = spmm(m, b)
+
+        n_nodes = 16
+        part = OneDPartition(m, n_nodes)
+        out_shards = []
+        csr = m.to_csr()
+        for node, tr in enumerate(part.node_traces()):
+            # The node fetches remote properties through the filtered
+            # PR pipeline: only issued PRs move data.
+            remote_idx = tr.remote_idxs
+            fr = filter_and_coalesce(remote_idx, n_units=4, batch_size=64,
+                                     inflight_window=32)
+            fetched = np.unique(remote_idx[fr.issued_mask])
+            needed = np.unique(remote_idx)
+            # Every needed property was fetched (the core invariant).
+            np.testing.assert_array_equal(fetched, needed)
+            # Local property table: own shard + fetched remotes.
+            local_b = np.zeros_like(b)
+            lo, hi = part.col_starts[node], part.col_starts[node + 1]
+            local_b[lo:hi] = b[lo:hi]
+            local_b[fetched] = b[fetched]
+            rows = list(part.rows_of(node))
+            shard = np.zeros((len(rows), k))
+            for i, r in enumerate(rows):
+                cols = csr.row_slice(r)
+                vals = csr.data[csr.indptr[r]:csr.indptr[r + 1]]
+                shard[i] = (vals[:, None] * local_b[cols]).sum(axis=0)
+            out_shards.append(shard)
+        result = part.gather_outputs(out_shards)
+        np.testing.assert_allclose(result, reference, rtol=1e-10)

@@ -1,0 +1,165 @@
+"""Tests for the future-work extensions: autotuning, iterative kernels
+with sampling, and the SpGeMM communication analysis."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.iterative import (
+    IterativeResult,
+    run_iterations,
+    sample_matrix,
+)
+from repro.config import NetSparseConfig
+from repro.core.autotune import TuneResult, tune_rig_batch
+from repro.core.rig import rig_generation_time
+from repro.sparse import COOMatrix
+from repro.sparse.spgemm import spgemm, spgemm_comm_analysis
+from repro.sparse.suite import load_benchmark
+from repro.sparse.synthetic import web_crawl
+
+
+class TestAutotune:
+    def evaluate(self, batch):
+        # The real makespan tradeoff: small batches pay command
+        # overhead, huge ones lose unit parallelism.
+        return rig_generation_time(1 << 20, 16, batch, freq=2.2e9,
+                                   cmd_overhead=1e-6)
+
+    def test_finds_interior_optimum(self):
+        result = tune_rig_batch(self.evaluate)
+        ladder_best = min(
+            (self.evaluate(1 << b) for b in range(10, 21, 2))
+        )
+        assert result.best_time <= ladder_best
+        assert 1024 < result.best_batch < (1 << 20)
+
+    def test_refinement_only_improves(self):
+        coarse = tune_rig_batch(self.evaluate, refine_steps=0)
+        refined = tune_rig_batch(self.evaluate, refine_steps=3)
+        assert refined.best_time <= coarse.best_time
+
+    def test_probe_budget_is_small(self):
+        result = tune_rig_batch(self.evaluate)
+        assert result.n_evaluations <= 14
+
+    def test_speedup_over_static(self):
+        result = tune_rig_batch(self.evaluate, ladder=[1024, 32 * 1024])
+        assert result.speedup_over(1024) >= 1.0
+        with pytest.raises(KeyError):
+            result.speedup_over(999)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tune_rig_batch(self.evaluate, ladder=[0])
+
+
+class TestSampling:
+    def test_sample_keeps_fraction(self):
+        mat = web_crawl(n=2048, mean_degree=16, seed=0)
+        sampled = sample_matrix(mat, 0.5, seed=1)
+        assert 0.4 * mat.nnz < sampled.nnz < 0.6 * mat.nnz
+        assert sampled.n_rows == mat.n_rows
+
+    def test_sample_full_is_identity(self):
+        mat = web_crawl(n=512, mean_degree=4, seed=0)
+        assert sample_matrix(mat, 1.0, seed=0) is mat
+
+    def test_sample_preserves_values(self):
+        mat = web_crawl(n=512, mean_degree=4, seed=0).with_random_values(1)
+        sampled = sample_matrix(mat, 0.5, seed=2)
+        # Each surviving (row, col, val) triple exists in the original.
+        orig = {(r, c): v for r, c, v in
+                zip(mat.rows, mat.cols, mat.vals)}
+        for r, c, v in zip(sampled.rows, sampled.cols, sampled.vals):
+            assert orig[(int(r), int(c))] == v
+
+    def test_sample_validation(self):
+        mat = web_crawl(n=512, mean_degree=4, seed=0)
+        with pytest.raises(ValueError):
+            sample_matrix(mat, 0.0, seed=0)
+
+
+class TestIterativeKernel:
+    CFG = NetSparseConfig(n_nodes=16, n_racks=4, nodes_per_rack=4)
+
+    def topo(self):
+        from repro.network import LeafSpine
+
+        return LeafSpine(n_racks=4, nodes_per_rack=4, n_spines=2)
+
+    def test_aggregates_iterations(self):
+        mat = load_benchmark("queen", "tiny")
+        res = run_iterations(mat, 16, 4, self.CFG, self.topo(), scale=0.01)
+        assert res.n_iterations == 4
+        assert res.total_time == pytest.approx(
+            sum(r.total_time for r in res.per_iteration)
+        )
+        assert res.total_wire_bytes > 0
+
+    def test_unsampled_iterations_identical(self):
+        mat = load_benchmark("queen", "tiny")
+        res = run_iterations(mat, 16, 3, self.CFG, self.topo(), scale=0.01)
+        times = [r.total_time for r in res.per_iteration]
+        assert times[0] == times[1] == times[2]
+        assert res.time_cv == 0.0
+
+    def test_sampling_varies_iterations(self):
+        mat = load_benchmark("queen", "tiny")
+        res = run_iterations(mat, 16, 4, self.CFG, self.topo(),
+                             sample_fraction=0.5, scale=0.01, seed=3)
+        assert res.time_cv > 0.0
+        assert res.mean_time < run_iterations(
+            mat, 16, 1, self.CFG, self.topo(), scale=0.01
+        ).mean_time
+
+    def test_validation(self):
+        mat = load_benchmark("queen", "tiny")
+        with pytest.raises(ValueError):
+            run_iterations(mat, 16, 0, self.CFG)
+
+
+class TestSpGemm:
+    def make_pair(self):
+        a = web_crawl(n=4096, mean_degree=4, seed=1, name="A",
+                      block_size=256).with_random_values(2)
+        b = web_crawl(n=4096, mean_degree=3, seed=3, name="B",
+                      block_size=256).with_random_values(4)
+        return a, b
+
+    def test_reference_kernel_matches_scipy(self):
+        a, b = self.make_pair()
+        c = spgemm(a, b)
+        expected = (a.to_scipy() @ b.to_scipy()).toarray()
+        np.testing.assert_allclose(c.to_scipy().toarray(), expected,
+                                   rtol=1e-12)
+
+    def test_dimension_check(self):
+        a, _ = self.make_pair()
+        bad = COOMatrix(100, 100, np.array([0]), np.array([1]))
+        with pytest.raises(ValueError):
+            spgemm(a, bad)
+        with pytest.raises(ValueError):
+            spgemm_comm_analysis(a, bad, 8)
+
+    def test_comm_accounting(self):
+        a, b = self.make_pair()
+        stats = spgemm_comm_analysis(a, b, 8)
+        assert stats.unique_row_requests <= stats.row_requests
+        assert stats.issued_after_fc <= stats.row_requests
+        assert stats.issued_after_fc >= stats.unique_row_requests
+        # SU replicates all of B: orders of magnitude of overfetch.
+        assert stats.su_overfetch > 5
+        assert stats.useful_bytes <= stats.sa_bytes
+
+    def test_filtering_helps_spgemm_too(self):
+        """The paper's future-work premise: the same idx-reuse that
+        NetSparse exploits for SpMM exists in SpGeMM row requests."""
+        a, b = self.make_pair()
+        stats = spgemm_comm_analysis(a, b, 8)
+        assert stats.fc_rate > 0.3
+
+    def test_max_row_bytes_for_cache_tiling(self):
+        a, b = self.make_pair()
+        stats = spgemm_comm_analysis(a, b, 8)
+        row_nnz = np.bincount(b.rows, minlength=b.n_rows)
+        assert stats.max_row_bytes == row_nnz.max() * 8

@@ -1,0 +1,90 @@
+"""Unit tests for the flow-level timing model."""
+
+import numpy as np
+import pytest
+
+from repro.network import LeafSpine, flow_completion_time
+from repro.network.topology import LINK_BANDWIDTH_BYTES
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return LeafSpine(n_racks=2, nodes_per_rack=4, n_spines=2)
+
+
+def test_single_flow_time(topo):
+    n = topo.n_nodes
+    tm = np.zeros((n, n))
+    tm[0, 1] = LINK_BANDWIDTH_BYTES  # one second of wire bytes
+    res = flow_completion_time(topo, tm)
+    assert res.total_time == pytest.approx(1.0 + res.latency_term)
+    assert res.latency_term == pytest.approx(2.4e-6)
+
+
+def test_zero_traffic(topo):
+    n = topo.n_nodes
+    res = flow_completion_time(topo, np.zeros((n, n)))
+    assert res.total_time == 0.0
+
+
+def test_incast_bottleneck_is_receiver(topo):
+    """Many senders to one receiver: the receiver's host link binds."""
+    n = topo.n_nodes
+    tm = np.zeros((n, n))
+    for s in range(1, n):
+        tm[s, 0] = LINK_BANDWIDTH_BYTES / 4
+    res = flow_completion_time(topo, tm)
+    expected = (n - 1) / 4  # all bytes through node 0's ejection link
+    assert res.total_time == pytest.approx(expected + res.latency_term, rel=1e-6)
+    assert res.tail_node == 0
+
+
+def test_efficiency_derates_linearly(topo):
+    n = topo.n_nodes
+    tm = np.zeros((n, n))
+    tm[0, 5] = LINK_BANDWIDTH_BYTES
+    full = flow_completion_time(topo, tm, efficiency=1.0)
+    half = flow_completion_time(topo, tm, efficiency=0.5)
+    assert (half.total_time - half.latency_term) == pytest.approx(
+        2 * (full.total_time - full.latency_term), rel=1e-9
+    )
+
+
+def test_efficiency_validation(topo):
+    n = topo.n_nodes
+    with pytest.raises(ValueError):
+        flow_completion_time(topo, np.zeros((n, n)), efficiency=0.0)
+    with pytest.raises(ValueError):
+        flow_completion_time(topo, np.zeros((n, n)), efficiency=1.5)
+
+
+def test_traffic_shape_validation(topo):
+    with pytest.raises(ValueError):
+        flow_completion_time(topo, np.zeros((3, 3)))
+
+
+def test_explicit_latency_override(topo):
+    n = topo.n_nodes
+    tm = np.zeros((n, n))
+    tm[0, 1] = 100.0
+    res = flow_completion_time(topo, tm, latency_rtt=1.0)
+    assert res.latency_term == 1.0
+
+
+def test_diagonal_traffic_ignored(topo):
+    n = topo.n_nodes
+    tm = np.zeros((n, n))
+    np.fill_diagonal(tm, 1e12)
+    res = flow_completion_time(topo, tm)
+    assert res.total_time == 0.0
+    assert res.node_send_time.max() == 0.0
+
+
+def test_tail_node_identifies_heaviest(topo):
+    n = topo.n_nodes
+    tm = np.zeros((n, n))
+    tm[2, 6] = 5 * LINK_BANDWIDTH_BYTES
+    tm[1, 4] = 1 * LINK_BANDWIDTH_BYTES
+    res = flow_completion_time(topo, tm)
+    assert res.tail_node in (2, 6)
+    assert res.node_send_time[2] == pytest.approx(5.0)

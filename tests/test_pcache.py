@@ -1,0 +1,181 @@
+"""Tests for the segmented set-associative Property Cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pcache import PropertyCache, SegmentSelector
+
+
+class TestSegmentSelector:
+    def test_mode_16b_single_segment(self):
+        sel = SegmentSelector(32, 16)
+        sel.configure(16)
+        assert sel.segments_per_property == 1
+        assert sel.enable_mask(5) == 1 << 5
+
+    def test_mode_32b_two_adjacent_segments(self):
+        sel = SegmentSelector(32, 16)
+        sel.configure(32)
+        assert sel.segments_per_property == 2
+        # The paper's example: segment bits 1110X -> segments 28,29...
+        # With LSB ignored, bits 11100 (28) and 11101 (29) map to the
+        # same pair {28, 29}.
+        assert sel.enable_mask(28) == sel.enable_mask(29)
+        assert sel.enable_mask(28) == (1 << 28) | (1 << 29)
+
+    def test_mode_512b_all_segments(self):
+        sel = SegmentSelector(32, 16)
+        sel.configure(512)
+        assert sel.segments_per_property == 32
+        assert sel.enable_mask(0) == (1 << 32) - 1
+
+    def test_non_power_of_two_rounds_up(self):
+        sel = SegmentSelector(32, 16)
+        sel.configure(48)  # 3 segments -> round to 4
+        assert sel.segments_per_property == 4
+
+    def test_oversized_property_rejected(self):
+        sel = SegmentSelector(32, 16)
+        with pytest.raises(ValueError):
+            sel.configure(1024)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            SegmentSelector(33, 16)
+        sel = SegmentSelector(32, 16)
+        with pytest.raises(ValueError):
+            sel.configure(0)
+        sel.configure(16)
+        with pytest.raises(ValueError):
+            sel.enable_mask(32)
+
+
+class TestPropertyCache:
+    def make(self, capacity=16 * 1024, ways=4, prop_bytes=64):
+        c = PropertyCache(capacity_bytes=capacity, ways=ways)
+        c.configure(prop_bytes)
+        return c
+
+    def test_requires_configure(self):
+        c = PropertyCache()
+        with pytest.raises(RuntimeError):
+            c.lookup(0)
+
+    def test_miss_then_insert_then_hit(self):
+        c = self.make()
+        assert not c.lookup(42)
+        c.insert(42)
+        assert c.lookup(42)
+        assert c.stats.lookups == 2
+        assert c.stats.hits == 1
+
+    def test_lookup_does_not_insert(self):
+        c = self.make()
+        c.lookup(7)
+        assert not c.contains(7)
+
+    def test_duplicate_insert_is_noop(self):
+        c = self.make()
+        c.insert(1)
+        c.insert(1)
+        assert c.stats.insertions == 1
+        assert c.stats.evictions == 0
+
+    def test_lru_eviction_within_set(self):
+        c = self.make(capacity=4 * 64, ways=4, prop_bytes=64)  # 1 set, 4 ways
+        assert c.n_sets == 1
+        for i in range(4):
+            c.insert(i)
+        c.lookup(0)       # 0 becomes MRU; LRU is now 1
+        c.insert(99)      # evicts 1
+        assert c.contains(0)
+        assert not c.contains(1)
+        assert c.contains(99)
+        assert c.stats.evictions == 1
+
+    def test_capacity_constant_across_property_sizes(self):
+        """The segmented design's point: total capacity is usable for
+        every property size; slot count scales inversely with size."""
+        c = PropertyCache(capacity_bytes=32 * 1024, ways=16)
+        c.configure(16)
+        slots_16 = c.n_slots
+        c.configure(512)
+        slots_512 = c.n_slots
+        assert slots_16 == 32 * slots_512
+        assert slots_16 * 16 == 32 * 1024
+        assert slots_512 * 512 == 32 * 1024
+
+    def test_sub_min_line_property_occupies_min_line(self):
+        c = PropertyCache(capacity_bytes=1024, ways=2)
+        c.configure(4)  # K=1: 4 B rides a 16 B slot
+        assert c.slot_bytes == 16
+        assert c.n_slots == 64
+
+    def test_configure_invalidates(self):
+        c = self.make()
+        c.insert(5)
+        c.configure(64)
+        assert not c.contains(5)
+        assert c.stats.lookups == 0
+
+    def test_zero_capacity_never_hits(self):
+        c = PropertyCache(capacity_bytes=0, ways=16)
+        c.configure(64)
+        c.insert(3)
+        assert not c.lookup(3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PropertyCache(capacity_bytes=-1)
+        with pytest.raises(ValueError):
+            PropertyCache(ways=0)
+
+    def test_hit_rate_stat(self):
+        c = self.make()
+        c.insert(1)
+        c.lookup(1)
+        c.lookup(2)
+        assert c.stats.hit_rate == 0.5
+
+    @settings(max_examples=100, deadline=None)
+    @given(ops=st.lists(
+        st.tuples(st.sampled_from(["lookup", "insert"]), st.integers(0, 50)),
+        max_size=300,
+    ))
+    def test_property_hit_implies_prior_insert(self, ops):
+        """INVARIANT: a lookup can only hit an idx inserted earlier and
+        not yet evicted; occupancy never exceeds ways per set."""
+        c = PropertyCache(capacity_bytes=8 * 64, ways=2)
+        c.configure(64)
+        inserted = set()
+        for op, idx in ops:
+            if op == "insert":
+                c.insert(idx)
+                inserted.add(idx)
+            else:
+                hit = c.lookup(idx)
+                if hit:
+                    assert idx in inserted
+        for s in c._sets:
+            assert len(s) <= c.ways
+
+    @settings(max_examples=50, deadline=None)
+    @given(idxs=st.lists(st.integers(0, 30), max_size=200))
+    def test_property_infinite_cache_hits_all_reuse(self, idxs):
+        """With capacity >> working set, every re-reference hits."""
+        c = PropertyCache(capacity_bytes=1 << 20, ways=16)
+        c.configure(64)
+        seen = set()
+        hits = 0
+        for idx in idxs:
+            if c.lookup(idx):
+                hits += 1
+            else:
+                c.insert(idx)
+            if idx in seen:
+                pass
+            seen.add(idx)
+        expected_hits = len(idxs) - len(set(idxs))
+        assert hits == expected_hits

@@ -1,0 +1,76 @@
+"""Tests for the ASCII figure renderer and the report generator."""
+
+import pytest
+
+from repro.experiments.plot import ascii_bars, render_figure
+from repro.experiments.report import generate_report
+from repro.experiments.runner import ExpTable
+
+
+class TestAsciiBars:
+    def test_basic_rendering(self):
+        out = ascii_bars(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10          # max value fills width
+        assert lines[0].count("#") == 5
+        assert "1" in lines[0] and "2" in lines[1]
+
+    def test_zero_values_have_no_bar(self):
+        out = ascii_bars(["z"], [0.0])
+        assert "#" not in out
+
+    def test_log_scale_compresses(self):
+        linear = ascii_bars(["a", "b"], [1.0, 1000.0], width=30)
+        logged = ascii_bars(["a", "b"], [1.0, 1000.0], width=30,
+                            log_scale=True)
+        small_linear = linear.splitlines()[0].count("#")
+        small_logged = logged.splitlines()[0].count("#")
+        assert small_logged > small_linear
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [-1.0])
+
+    def test_empty(self):
+        assert ascii_bars([], []) == "(empty)"
+
+
+class TestRenderFigure:
+    def table(self):
+        return ExpTable(
+            exp_id="figX", title="demo",
+            columns=["matrix", "K", "speedup"],
+            rows=[["a", 1, 2.0], ["b", 1, 4.0],
+                  ["a", 16, 8.0], ["b", 16, 16.0]],
+            paper_note="note",
+        )
+
+    def test_ungrouped(self):
+        out = render_figure(self.table(), "matrix", "speedup")
+        assert "figX" in out and "[paper] note" in out
+
+    def test_grouped_by_k(self):
+        out = render_figure(self.table(), "matrix", "speedup",
+                            group_col="K")
+        assert out.count("-- K =") == 2
+
+
+class TestReport:
+    def test_report_subset(self):
+        text = generate_report(scale="tiny", experiments=["table3"])
+        assert "## table3" in text
+        assert "| K | header % |" in text
+        assert "fig12" not in text
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            generate_report(experiments=["figZZ"])
+
+    def test_progress_callback(self):
+        seen = []
+        generate_report(scale="tiny", experiments=["table9"],
+                        progress=lambda e, t: seen.append(e))
+        assert seen == ["table9"]

@@ -1,0 +1,108 @@
+"""Tests for the NetSparse protocol header math (§6.1.1, Table 3)."""
+
+import pytest
+
+from repro.config import NetSparseConfig
+from repro.core.protocol import (
+    NetSparsePacket,
+    PRHeader,
+    PRType,
+    concat_header_savings,
+    header_traffic_fraction,
+    sa_pair_header_bytes,
+)
+
+CFG = NetSparseConfig()
+
+
+def prs(n):
+    return [PRHeader(src=0, src_tid=0, idx=i, request_id=i) for i in range(n)]
+
+
+def test_vanilla_header_is_78_bytes():
+    # §6.1.1: 50 + 10 + 18 = 78.
+    assert CFG.vanilla_pr_header == 78
+
+
+def test_concat_packet_formula_matches_paper():
+    # §6.1.1: a packet with N PRs has 50 + 14 + 18N = 64 + 18N header.
+    for n in (2, 5, 10):
+        assert CFG.concat_packet_bytes(n, 0) == 64 + 18 * n
+
+
+def test_single_pr_packet_uses_solo_header():
+    assert CFG.concat_packet_bytes(1, 0) == 78
+    assert CFG.concat_packet_bytes(1, 64) == 78 + 64
+
+
+def test_concat_always_cheaper_for_n_over_1():
+    for n in range(2, 60):
+        for payload in (0, 4, 64, 512):
+            solo = n * (CFG.vanilla_pr_header + payload)
+            packed = CFG.concat_packet_bytes(n, payload)
+            assert packed < solo
+
+
+def test_concat_header_savings():
+    assert concat_header_savings(1) == 0.0
+    # N=2: 156 solo vs 64 + 36 = 100 -> saves 56.
+    assert concat_header_savings(2) == 56.0
+    with pytest.raises(ValueError):
+        concat_header_savings(0)
+
+
+def test_max_prs_per_packet_respects_mtu():
+    for k in (1, 16, 128):
+        payload = CFG.property_bytes(k)
+        n = CFG.max_prs_per_packet(payload)
+        assert CFG.concat_packet_bytes(n, payload) <= CFG.mtu or n == 1
+        assert CFG.concat_packet_bytes(n + 1, payload) > CFG.mtu
+
+
+def test_max_prs_read_direction():
+    # Read PRs have no payload: (1500 - 64) / 18 = 79 PRs.
+    assert CFG.max_prs_per_packet(0) == 79
+
+
+def test_table3_header_fractions():
+    """Table 3: header share of SA traffic for K = 1 .. 256.
+
+    The paper's numbers (97.6 ... 13.5%) count the request+response
+    pair; our formula 156/(156+4K) must land within a point or two.
+    """
+    paper = {1: 97.6, 2: 95.2, 4: 90.9, 8: 83.3, 16: 71.4,
+             32: 55.6, 64: 38.5, 128: 23.8, 256: 13.5}
+    for k, expected in paper.items():
+        got = header_traffic_fraction(k) * 100
+        assert got == pytest.approx(expected, abs=2.5), f"K={k}"
+
+
+def test_header_fraction_decreases_with_k():
+    fracs = [header_traffic_fraction(k) for k in (1, 4, 16, 64, 256)]
+    assert fracs == sorted(fracs, reverse=True)
+
+
+def test_sa_pair_header_bytes():
+    assert sa_pair_header_bytes(CFG) == 156
+
+
+def test_packet_validation():
+    with pytest.raises(ValueError):
+        NetSparsePacket(PRType.READ, dest=0, prop_len=0, prs=[])
+    with pytest.raises(ValueError):
+        NetSparsePacket("bogus", dest=0, prop_len=0, prs=prs(1))
+
+
+def test_packet_wire_bytes():
+    pkt = NetSparsePacket(PRType.RESPONSE, dest=3, prop_len=64, prs=prs(4))
+    assert pkt.payload_bytes() == 256
+    assert pkt.wire_bytes(CFG) == 64 + 4 * (18 + 64)
+    assert pkt.fits_mtu(CFG)
+    read = NetSparsePacket(PRType.READ, dest=3, prop_len=64, prs=prs(4))
+    assert read.payload_bytes() == 0
+
+
+def test_property_bytes_validation():
+    assert CFG.property_bytes(16) == 64
+    with pytest.raises(ValueError):
+        CFG.property_bytes(0)

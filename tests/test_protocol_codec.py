@@ -1,0 +1,103 @@
+"""Wire-codec round-trip and robustness tests (Figure 6 layout)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import (
+    NetSparsePacket,
+    PRHeader,
+    PRType,
+    decode_packet,
+    encode_packet,
+)
+
+pr_strategy = st.builds(
+    PRHeader,
+    src=st.integers(0, 2**32 - 1),
+    src_tid=st.integers(0, 2**16 - 1),
+    idx=st.integers(0, 2**64 - 1),
+    request_id=st.integers(0, 2**32 - 1),
+)
+
+
+def test_read_packet_roundtrip():
+    pkt = NetSparsePacket(PRType.READ, dest=7, prop_len=64,
+                          prs=[PRHeader(1, 2, 3, 4)])
+    back, payloads = decode_packet(encode_packet(pkt))
+    assert back.pr_type == PRType.READ
+    assert back.dest == 7
+    assert back.prs == pkt.prs
+    assert payloads == [b""]
+
+
+def test_response_packet_carries_payloads():
+    pkt = NetSparsePacket(PRType.RESPONSE, dest=1, prop_len=4,
+                          prs=[PRHeader(0, 0, 10, 0), PRHeader(0, 0, 11, 1)])
+    data = encode_packet(pkt, payloads=[b"abcd", b"wxyz"])
+    back, payloads = decode_packet(data)
+    assert payloads == [b"abcd", b"wxyz"]
+    assert [p.idx for p in back.prs] == [10, 11]
+
+
+def test_encoded_size_matches_header_model():
+    """The codec's concat+PR layer sizes match the analytic model's
+    14 + 18N bytes (read direction)."""
+    for n in (1, 3, 10):
+        pkt = NetSparsePacket(PRType.READ, dest=0, prop_len=0,
+                              prs=[PRHeader(0, 0, i, i) for i in range(n)])
+        assert len(encode_packet(pkt)) == 14 + 18 * n
+
+
+def test_payload_count_mismatch():
+    pkt = NetSparsePacket(PRType.RESPONSE, dest=0, prop_len=4,
+                          prs=[PRHeader(0, 0, 0, 0)])
+    with pytest.raises(ValueError):
+        encode_packet(pkt, payloads=[])
+
+
+def test_payload_size_mismatch():
+    pkt = NetSparsePacket(PRType.RESPONSE, dest=0, prop_len=4,
+                          prs=[PRHeader(0, 0, 0, 0)])
+    with pytest.raises(ValueError):
+        encode_packet(pkt, payloads=[b"toolongpayload"])
+
+
+def test_decode_rejects_truncation():
+    pkt = NetSparsePacket(PRType.READ, dest=0, prop_len=0,
+                          prs=[PRHeader(0, 0, 0, 0)])
+    data = encode_packet(pkt)
+    with pytest.raises(ValueError):
+        decode_packet(data[:-1])
+    with pytest.raises(ValueError):
+        decode_packet(data + b"x")
+    with pytest.raises(ValueError):
+        decode_packet(b"\x00" * 4)
+
+
+def test_decode_rejects_bad_type():
+    pkt = NetSparsePacket(PRType.READ, dest=0, prop_len=0,
+                          prs=[PRHeader(0, 0, 0, 0)])
+    data = bytearray(encode_packet(pkt))
+    data[0:2] = (99).to_bytes(2, "big")
+    with pytest.raises(ValueError):
+        decode_packet(bytes(data))
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    prs=st.lists(pr_strategy, min_size=1, max_size=20),
+    dest=st.integers(0, 2**32 - 1),
+    pr_type=st.sampled_from([PRType.READ, PRType.RESPONSE]),
+    prop_len=st.integers(0, 64),
+)
+def test_property_roundtrip(prs, dest, pr_type, prop_len):
+    """INVARIANT: decode(encode(p)) == p for any well-formed packet."""
+    pkt = NetSparsePacket(pr_type, dest, prop_len, prs)
+    back, payloads = decode_packet(encode_packet(pkt))
+    assert back.pr_type == pkt.pr_type
+    assert back.dest == pkt.dest
+    assert back.prop_len == pkt.prop_len
+    assert back.prs == pkt.prs
+    if pr_type == PRType.RESPONSE:
+        assert all(len(b) == prop_len for b in payloads)

@@ -1,0 +1,175 @@
+"""Tests for RIG Units: DES client/server and the batch-timing model."""
+
+import numpy as np
+import pytest
+
+from repro.core.rig import (
+    ReadPR,
+    ResponsePR,
+    RigClientUnit,
+    RigServerUnit,
+    rig_generation_time,
+)
+from repro.sim import Simulator, Store
+
+
+def wire(sim, latency=1e-6):
+    """A Store pair joined by a fixed-latency forwarder."""
+    a, b = Store(sim), Store(sim)
+
+    def fwd():
+        while True:
+            item = yield a.get()
+            yield sim.timeout(latency)
+            yield b.put(item)
+
+    sim.process(fwd())
+    return a, b
+
+
+def build_loop(sim, payload=64, **client_kw):
+    """Client on node 0 wired to a server on node 1 and back."""
+    c2s_in, c2s_out = wire(sim)
+    s2c_in, s2c_out = wire(sim)
+    client = RigClientUnit(
+        sim, unit_id=0, node=0, tx_queue=c2s_in, rx_queue=s2c_out,
+        idx_filter=set(), **client_kw
+    )
+    server = RigServerUnit(
+        sim, unit_id=1, node=1, rx_queue=c2s_out, tx_queue=s2c_in,
+        payload_bytes=payload,
+    )
+    return client, server
+
+
+class TestRigDES:
+    def test_simple_gather_completes(self):
+        sim = Simulator()
+        client, server = build_loop(sim)
+        done = client.execute([10, 11, 12])
+        sim.run()
+        assert done.processed
+        assert client.stats_issued == 3
+        assert server.stats_served == 3
+        assert sorted(client.received_idxs) == [10, 11, 12]
+
+    def test_every_needed_property_arrives_exactly_once(self):
+        sim = Simulator()
+        client, server = build_loop(sim)
+        idxs = [1, 2, 1, 3, 2, 1, 4]
+        client.execute(idxs)
+        sim.run()
+        assert sorted(client.received_idxs) == [1, 2, 3, 4]
+
+    def test_filtering_uses_shared_idx_filter(self):
+        sim = Simulator()
+        client, server = build_loop(sim)
+        client.idx_filter.add(5)  # some other unit already fetched 5
+        client.execute([5, 6])
+        sim.run()
+        assert client.stats_filtered == 1
+        assert client.stats_issued == 1
+        assert client.received_idxs == [6]
+
+    def test_coalescing_counts_in_flight_duplicates(self):
+        sim = Simulator()
+        client, server = build_loop(sim)
+        client.execute([7, 7, 7])
+        sim.run()
+        # Network RTT >> cycle: the later 7s are outstanding dupes.
+        assert client.stats_issued == 1
+        assert client.stats_coalesced == 2
+
+    def test_duplicates_after_completion_filtered(self):
+        sim = Simulator()
+        client, server = build_loop(sim)
+
+        def two_commands():
+            yield client.execute([9])
+            yield client.execute([9])
+
+        sim.process(two_commands())
+        sim.run()
+        assert client.stats_issued == 1
+        assert client.stats_filtered == 1
+
+    def test_pending_table_limits_outstanding(self):
+        sim = Simulator()
+        client, server = build_loop(sim, pending_entries=2)
+        client.execute(list(range(100, 120)))
+        # Track the maximum outstanding PRs over the run.
+        peak = [0]
+
+        def watcher():
+            while True:
+                peak[0] = max(peak[0], len(client.pending))
+                yield sim.timeout(1e-7)
+
+        sim.process(watcher())
+        sim.run(until=1e-3)
+        assert peak[0] <= 2
+        assert sorted(client.received_idxs) == list(range(100, 120))
+
+    def test_disable_flags(self):
+        sim = Simulator()
+        client, server = build_loop(
+            sim, enable_filtering=False, enable_coalescing=False
+        )
+        client.execute([3, 3])
+        sim.run()
+        assert client.stats_issued == 2
+        assert server.stats_served == 2
+
+
+class TestRigGenerationTime:
+    FREQ = 2.2e9
+    CMD = 1e-6
+
+    def test_zero_work(self):
+        assert rig_generation_time(0, 16, 1024) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rig_generation_time(10, 0, 1024)
+        with pytest.raises(ValueError):
+            rig_generation_time(10, 4, 0)
+
+    def test_single_batch_no_parallelism(self):
+        t = rig_generation_time(1000, 16, 1000, freq=self.FREQ,
+                                cmd_overhead=self.CMD)
+        assert t == pytest.approx(self.CMD + 1000 / self.FREQ)
+
+    def test_many_batches_parallelize(self):
+        n = 16 * 10_000
+        serial = rig_generation_time(n, 1, 10_000, freq=self.FREQ,
+                                     cmd_overhead=0.0)
+        parallel = rig_generation_time(n, 16, 10_000, freq=self.FREQ,
+                                       cmd_overhead=0.0)
+        assert parallel < serial / 8
+
+    def test_tiny_batches_pay_command_overhead(self):
+        n = 64 * 1024
+        tiny = rig_generation_time(n, 16, 32, freq=self.FREQ,
+                                   cmd_overhead=self.CMD)
+        good = rig_generation_time(n, 16, 4096, freq=self.FREQ,
+                                   cmd_overhead=self.CMD)
+        assert tiny > 10 * good
+
+    def test_huge_batches_lose_parallelism(self):
+        n = 1 << 20
+        huge = rig_generation_time(n, 16, n, freq=self.FREQ,
+                                   cmd_overhead=self.CMD)
+        good = rig_generation_time(n, 16, n // 16, freq=self.FREQ,
+                                   cmd_overhead=self.CMD)
+        assert huge > 5 * good
+
+    def test_sweet_spot_is_interior(self):
+        """The Figure 15 shape: some middle batch size beats both ends."""
+        n = 256 * 1024
+        sizes = [64, 1024, 16 * 1024, n]
+        times = [
+            rig_generation_time(n, 16, b, freq=self.FREQ, cmd_overhead=self.CMD)
+            for b in sizes
+        ]
+        best = int(np.argmin(times))
+        assert best not in (0, len(sizes) - 1)

@@ -1,0 +1,73 @@
+"""Numeric correctness of the reference kernels against scipy/numpy."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOMatrix, sddmm, spmm, spmv
+from repro.sparse.synthetic import web_crawl
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return web_crawl(n=512, mean_degree=8, seed=3).with_random_values(seed=4)
+
+
+def test_spmv_matches_scipy(matrix):
+    x = np.random.default_rng(0).normal(size=matrix.n_cols)
+    expected = matrix.to_scipy().tocsr() @ x
+    np.testing.assert_allclose(spmv(matrix, x), expected, rtol=1e-12)
+
+
+def test_spmm_matches_scipy(matrix):
+    b = np.random.default_rng(1).normal(size=(matrix.n_cols, 16))
+    expected = matrix.to_scipy().tocsr() @ b
+    np.testing.assert_allclose(spmm(matrix, b), expected, rtol=1e-12)
+
+
+def test_spmm_accepts_csr(matrix):
+    b = np.random.default_rng(1).normal(size=(matrix.n_cols, 4))
+    np.testing.assert_allclose(spmm(matrix.to_csr(), b), spmm(matrix, b))
+
+
+def test_sddmm_matches_dense(matrix):
+    rng = np.random.default_rng(2)
+    k = 8
+    u = rng.normal(size=(matrix.n_rows, k))
+    v = rng.normal(size=(matrix.n_cols, k))
+    out = sddmm(matrix, u, v)
+    dense = (u @ v.T)
+    expected = matrix.vals * dense[matrix.rows, matrix.cols]
+    np.testing.assert_allclose(out.vals, expected, rtol=1e-12)
+    # Pattern is preserved.
+    np.testing.assert_array_equal(out.rows, matrix.rows)
+    np.testing.assert_array_equal(out.cols, matrix.cols)
+
+
+def test_structure_only_matrix_uses_unit_values():
+    m = COOMatrix(2, 2, rows=np.array([0, 1]), cols=np.array([1, 0]))
+    y = spmv(m, np.array([3.0, 5.0]))
+    np.testing.assert_allclose(y, [5.0, 3.0])
+
+
+def test_spmv_shape_check(matrix):
+    with pytest.raises(ValueError):
+        spmv(matrix, np.zeros(3))
+
+
+def test_spmm_shape_check(matrix):
+    with pytest.raises(ValueError):
+        spmm(matrix, np.zeros((3, 3)))
+
+
+def test_sddmm_shape_checks(matrix):
+    with pytest.raises(ValueError):
+        sddmm(matrix, np.zeros((1, 2)), np.zeros((matrix.n_cols, 2)))
+    with pytest.raises(ValueError):
+        sddmm(matrix, np.zeros((matrix.n_rows, 2)), np.zeros((matrix.n_cols, 3)))
+
+
+def test_spmm_k1_equals_spmv(matrix):
+    x = np.random.default_rng(5).normal(size=matrix.n_cols)
+    np.testing.assert_allclose(
+        spmm(matrix, x[:, None])[:, 0], spmv(matrix, x), rtol=1e-12
+    )
