@@ -1,0 +1,57 @@
+"""Benchmarks for the execution engine: cold vs warm cache, fan-out.
+
+The cold benchmark measures real simulation through the engine into an
+empty cache; the warm benchmark replays the identical batch from disk
+and asserts it is dramatically faster and answered entirely by hits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import NetSparseConfig
+from repro.parallel import ExecutionEngine, ResultCache, SimJob
+
+from conftest import run_once
+
+
+def _batch(scale: str):
+    return [
+        SimJob(scheme=scheme, matrix=name, k=16, config=NetSparseConfig(),
+               scale_name=scale)
+        for name in ("queen", "uk")
+        for scheme in ("netsparse", "saopt", "suopt")
+    ]
+
+
+def test_bench_engine_cold(benchmark, scale, tmp_path):
+    jobs = _batch(scale)
+    with ExecutionEngine(cache=ResultCache(tmp_path)) as eng:
+        results = run_once(benchmark, eng.run_jobs, jobs)
+        assert eng.stats.executed == len(jobs)
+    assert all(r.total_time > 0 for r in results)
+
+
+def test_bench_engine_warm(benchmark, scale, tmp_path):
+    jobs = _batch(scale)
+    with ExecutionEngine(cache=ResultCache(tmp_path)) as eng:
+        cold = eng.run_jobs(jobs)
+    with ExecutionEngine(cache=ResultCache(tmp_path)) as eng:
+        warm = run_once(benchmark, eng.run_jobs, jobs)
+        assert eng.stats.cache_hits == len(jobs)
+        assert eng.stats.executed == 0
+        # The cache must hold (and report) the simulation time it saves.
+        assert eng.stats.saved_seconds > 0
+    for a, b in zip(cold, warm):
+        assert a.total_time == b.total_time
+        np.testing.assert_array_equal(a.per_node_time, b.per_node_time)
+
+
+def test_bench_engine_parallel(benchmark, scale, tmp_path):
+    jobs = _batch(scale)
+    with ExecutionEngine(jobs=1) as eng:
+        serial = eng.run_jobs(jobs)
+    with ExecutionEngine(jobs=4, cache=ResultCache(tmp_path)) as eng:
+        par = run_once(benchmark, eng.run_jobs, jobs)
+    for a, b in zip(serial, par):
+        assert a.total_time == b.total_time

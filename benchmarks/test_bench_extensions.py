@@ -1,6 +1,6 @@
 """Benchmarks for the extension studies (beyond the paper's artifacts)."""
 
-from conftest import run_once
+from conftest import PAPER_CLAIMS, run_once
 
 from repro.experiments import run_experiment
 
@@ -41,6 +41,9 @@ def test_concat_virtualization(benchmark):
 
 def test_autotune(benchmark, scale):
     table = run_once(benchmark, run_experiment, "autotune", scale=scale)
+    if not PAPER_CLAIMS:
+        assert table.rows
+        return
     speedups = table.column("speedup vs static")
     probes = table.column("probes")
     # Tuning never loses to the static choice and helps somewhere.
@@ -68,6 +71,9 @@ def test_iterative(benchmark, scale):
 
 def test_cache_policy(benchmark, scale):
     table = run_once(benchmark, run_experiment, "cache_policy", scale=scale)
+    if not PAPER_CLAIMS:
+        assert table.rows
+        return
     for row in table.rows:
         lru, fifo, rnd = row[1], row[2], row[3]
         # All policies land in the same band on these streams; LRU is
@@ -79,6 +85,9 @@ def test_cache_policy(benchmark, scale):
 
 def test_scaling(benchmark, scale):
     table = run_once(benchmark, run_experiment, "scaling", scale=scale)
+    if not PAPER_CLAIMS:
+        assert table.rows
+        return
     for name in ("arabic", "europe", "queen"):
         rows = [r for r in table.rows if r[0] == name]
         speedups = [r[2] for r in rows]
@@ -90,6 +99,9 @@ def test_scaling(benchmark, scale):
 def test_hybrid_baseline(benchmark, scale):
     table = run_once(benchmark, run_experiment, "hybrid_baseline",
                      scale=scale)
+    if not PAPER_CLAIMS:
+        assert table.rows
+        return
     vs_sa = table.column("hybrid/SAOpt x")
     ns_over = table.column("NS over hybrid x")
     # The hybrid never loses to SAOpt (it degenerates to it), and
@@ -116,6 +128,9 @@ def test_latency_profile(benchmark):
 
 def test_partitioning(benchmark, scale):
     table = run_once(benchmark, run_experiment, "partitioning", scale=scale)
+    if not PAPER_CLAIMS:
+        assert table.rows
+        return
     by = {r[0]: r for r in table.rows}
     # Balancing collapses nnz imbalance on the skewed crawls...
     assert by["arabic"][1] > 1.5 and by["arabic"][2] < 1.2

@@ -1,12 +1,15 @@
 """Benchmarks regenerating the headline results: Figs 12-14, 19, Table 7."""
 
-from conftest import run_once
+from conftest import PAPER_CLAIMS, run_once
 
 from repro.experiments import run_experiment
 
 
 def test_fig12(benchmark, scale):
     table = run_once(benchmark, run_experiment, "fig12", scale=scale)
+    if not PAPER_CLAIMS:
+        assert table.rows
+        return
     gmean = table.row_by("matrix", "gmean")
     ns_gmean, sa_gmean = gmean[2], gmean[3]
     # Paper: NetSparse 33x over SUOpt, 15x over SAOpt (gmean).  Same
@@ -21,6 +24,9 @@ def test_fig12(benchmark, scale):
 
 def test_table7(benchmark, scale):
     table = run_once(benchmark, run_experiment, "table7", scale=scale)
+    if not PAPER_CLAIMS:
+        assert table.rows
+        return
     fc = dict(zip(table.column("matrix"), table.column("F+C %")))
     cache = dict(zip(table.column("matrix"), table.column("$hit %")))
     trfc = dict(zip(table.column("matrix"), table.column("-trfc vs SU")))
@@ -37,6 +43,9 @@ def test_table7(benchmark, scale):
 
 def test_fig13(benchmark, scale):
     table = run_once(benchmark, run_experiment, "fig13", scale=scale)
+    if not PAPER_CLAIMS:
+        assert table.rows
+        return
     g = table.row_by("matrix", "gmean")
     su, sa, ns, ideal = g[2], g[3], g[4], g[5]
     # Paper: 0.7x / 3x / 38x / 72x.  Orderings and magnitudes:
@@ -48,6 +57,9 @@ def test_fig13(benchmark, scale):
 
 def test_fig14(benchmark, scale):
     table = run_once(benchmark, run_experiment, "fig14", scale=scale)
+    if not PAPER_CLAIMS:
+        assert table.rows
+        return
     sa = dict(zip(table.column("matrix"), table.column("SAOpt comm/comp")))
     ns = dict(
         zip(table.column("matrix"), table.column("NetSparse comm/comp"))

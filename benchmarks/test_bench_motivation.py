@@ -1,12 +1,15 @@
 """Benchmarks regenerating the motivation artifacts: Tables 1-4, Fig 10."""
 
-from conftest import run_once
+from conftest import PAPER_CLAIMS, run_once
 
 from repro.experiments import run_experiment
 
 
 def test_table1(benchmark, scale):
     table = run_once(benchmark, run_experiment, "table1", scale=scale)
+    if not PAPER_CLAIMS:
+        assert table.rows
+        return
     su = dict(zip(table.column("matrix"), table.column("SU 1:X")))
     sa = dict(zip(table.column("matrix"), table.column("SA 1:X")))
     # SU redundancy is orders of magnitude for every matrix; the web
@@ -38,6 +41,9 @@ def test_table3(benchmark):
 
 def test_table4(benchmark, scale):
     table = run_once(benchmark, run_experiment, "table4", scale=scale)
+    if not PAPER_CLAIMS:
+        assert table.rows
+        return
     dests = dict(zip(table.column("matrix"), table.column("unique dests")))
     assert dests["queen"] < 1.5                  # near-perfect locality
     assert dests["queen"] == min(dests.values())

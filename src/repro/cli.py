@@ -3,13 +3,25 @@
 Usage::
 
     netsparse list
-    netsparse run table1 [--scale small]
-    netsparse run all [--scale tiny]
+    netsparse run table1 [--scale small] [--jobs 4]
+    netsparse run all [--scale tiny] [--jobs 4] [--no-cache]
+    netsparse report [--scale small] [-o report.md] [--jobs 4]
+    netsparse cache info
+    netsparse cache clear
+
+``run`` and ``report`` route every simulation through the execution
+engine (:mod:`repro.parallel`): ``--jobs N`` fans independent jobs out
+over N worker processes, and results are memoized in a
+content-addressed on-disk cache (``--cache-dir``, default
+``$NETSPARSE_CACHE_DIR`` or ``~/.cache/netsparse``) so repeated runs
+replay instead of recompute.  Simulations are deterministic, so cached
+and parallel runs are bit-identical to serial ones.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -23,10 +35,31 @@ def _run_with_scale(exp_id: str, scale: str):
     protocol experiments are scale-free)."""
     import inspect
 
-    fn = EXPERIMENTS[exp_id]
+    fn = EXPERIMENTS.get(exp_id)
+    if fn is None:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; available: {list_experiments()}"
+        )
     if "scale" in inspect.signature(fn).parameters:
         return run_experiment(exp_id, scale=scale)
     return run_experiment(exp_id)
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent simulation jobs "
+             "(default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="simulation result cache directory (default: "
+             "$NETSPARSE_CACHE_DIR or ~/.cache/netsparse)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk simulation result cache",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -44,6 +77,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["tiny", "small", "medium"],
         help="benchmark matrix scale (default: small)",
     )
+    _add_engine_flags(run)
     report = sub.add_parser(
         "report", help="run the whole suite and write a markdown report"
     )
@@ -53,15 +87,58 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="output markdown path (default: report.md)")
     report.add_argument("--only", nargs="*", default=None,
                         help="restrict to these experiment ids")
+    _add_engine_flags(report)
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the simulation result cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    info = cache_sub.add_parser("info", help="entry count, size, held "
+                                             "simulation time")
+    clear = cache_sub.add_parser("clear", help="delete every cached result")
+    for p in (info, clear):
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache directory (default: $NETSPARSE_CACHE_DIR "
+                            "or ~/.cache/netsparse)")
     return parser
 
 
+def _cache_main(args) -> int:
+    from repro.parallel import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "info":
+        print(cache.info().format())
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+    return 0
+
+
 def main(argv=None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`): not an error, but
+        # suppress the interpreter's close-time flush complaint too.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         for exp_id in list_experiments():
             print(exp_id)
         return 0
+
+    if args.command == "cache":
+        return _cache_main(args)
+
+    from repro.parallel import configure_engine
+
+    engine = configure_engine(jobs=args.jobs, cache_dir=args.cache_dir,
+                              use_cache=not args.no_cache)
 
     if args.command == "report":
         from repro.experiments.report import generate_report
@@ -74,6 +151,7 @@ def main(argv=None) -> int:
         with open(args.output, "w") as fh:
             fh.write(text)
         print(f"wrote {args.output}")
+        print(f"[engine] {engine.stats.summary()}")
         return 0
 
     targets = (
@@ -89,6 +167,7 @@ def main(argv=None) -> int:
         print(table.format())
         print(f"[{time.time() - t0:.1f}s]")
         print()
+    print(f"[engine] {engine.stats.summary()}")
     return 0
 
 

@@ -15,7 +15,6 @@ import numpy as np
 
 from repro.accel.spade import SpadeConfig, spmm_compute_time
 from repro.results import CommResult
-from repro.config import NetSparseConfig
 from repro.partition import OneDPartition
 
 __all__ = ["EndToEndResult", "end_to_end_time", "single_node_time",

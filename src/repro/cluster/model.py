@@ -270,7 +270,7 @@ def simulate_netsparse(
     up_bytes = np.zeros(n)
     down_bytes = np.zeros(n)
     fabric_loads = np.zeros(topo.n_links)
-    link_bw = np.array([l.bandwidth for l in topo.links])
+    link_bw = np.array([ln.bandwidth for ln in topo.links])
     n_packets_total = 0
     cache_lookups = cache_hits = 0
     miss_records = []            # surviving reads, to be served by owners

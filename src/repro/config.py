@@ -8,7 +8,9 @@ sweeps (Figures 15-18).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 __all__ = ["NetSparseConfig", "FeatureFlags"]
 
@@ -149,6 +151,28 @@ class NetSparseConfig:
 
     def with_features(self, **kw) -> "NetSparseConfig":
         return replace(self, features=replace(self.features, **kw))
+
+    # -- canonical identity -------------------------------------------
+
+    def canonical_dict(self) -> dict:
+        """Every field (feature flags nested), suitable for stable JSON."""
+        return asdict(self)
+
+    def canonical_json(self) -> str:
+        """Key-sorted, whitespace-free JSON — the same config always
+        serializes to the same bytes (floats via ``repr``, which py3
+        guarantees round-trips exactly)."""
+        return json.dumps(self.canonical_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self) -> str:
+        """Stable content hash of this configuration.
+
+        Used (with matrix identity, scheme and a code-version salt) to
+        key the on-disk simulation result cache — any changed field,
+        including a single feature flag, changes the digest.
+        """
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
 
     def sw_pr_cost(self, payload_bytes: int) -> float:
         """Per-PR software handling cost on one core (seconds)."""

@@ -20,8 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
 __all__ = ["PropertyCache", "SegmentSelector", "CacheStats"]
 
 

@@ -30,8 +30,6 @@ import struct
 from dataclasses import dataclass
 from typing import List
 
-import numpy as np
-
 from repro.config import NetSparseConfig
 
 __all__ = [

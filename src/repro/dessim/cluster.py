@@ -148,8 +148,8 @@ class DesCluster:
                 "(deadlock or starvation in the DES fabric)"
             )
 
-        up = np.array([l.bytes_carried for l in self.up_links], dtype=float)
-        down = np.array([l.bytes_carried for l in self.down_links],
+        up = np.array([ln.bytes_carried for ln in self.up_links], dtype=float)
+        down = np.array([ln.bytes_carried for ln in self.down_links],
                         dtype=float)
         return DesResult(
             finish_time=self.sim.now,
@@ -162,12 +162,12 @@ class DesCluster:
             cache_turnarounds=sum(t.stats_turnaround for t in self.tors),
             host_up_bytes=up,
             host_down_bytes=down,
-            fabric_bytes=sum(l.bytes_carried for l in self.fabric_links),
+            fabric_bytes=sum(ln.bytes_carried for ln in self.fabric_links),
             total_prs_on_fabric=sum(
-                l.prs_carried for l in self.fabric_links
+                ln.prs_carried for ln in self.fabric_links
             ),
             fabric_packets=sum(
-                l.packets_carried for l in self.fabric_links
+                ln.packets_carried for ln in self.fabric_links
             ),
             extras={
                 "cache_stats": [

@@ -3,10 +3,9 @@
 from __future__ import annotations
 
 from repro.config import FeatureFlags, NetSparseConfig
-from repro.cluster import build_cluster_topology, simulate_netsparse
-from repro.baselines.su import simulate_suopt
 from repro.experiments.runner import ExpTable, experiment
-from repro.sparse.suite import BENCHMARKS, load_benchmark, scale_factor
+from repro.parallel import SimJob, simulate_many
+from repro.sparse.suite import BENCHMARKS
 
 LEVELS = ["rig", "filter", "coalesce", "conc_nic", "switch"]
 LEVEL_LABELS = {
@@ -32,21 +31,33 @@ PAPER_SPD = {
 def run_table8(scale: str = "small", matrices=("arabic", "europe"),
                ks=(1, 16, 128)) -> ExpTable:
     """Progressively enable each NetSparse mechanism; report speedup
-    over SUOpt, tail-node traffic reduction, and tail goodput."""
-    rows = []
+    over SUOpt, tail-node traffic reduction, and tail goodput.
+
+    All ``matrices x ks x (1 SUOpt + len(LEVELS) NetSparse)`` cells are
+    independent, so the whole table is one engine batch."""
+    level_cfgs = {
+        level: NetSparseConfig(features=FeatureFlags.ablation_level(level))
+        for level in LEVELS
+    }
+    jobs, keys = [], []
     for name in matrices:
-        mat = load_benchmark(name, scale)
-        sc = scale_factor(name, mat)
         batch = BENCHMARKS[name].default_rig_batch
         for k in ks:
-            su = simulate_suopt(mat, k)
+            jobs.append(SimJob(scheme="suopt", matrix=name, k=k,
+                               config=NetSparseConfig(), scale_name=scale))
+            keys.append((name, k, "suopt"))
+            for level in LEVELS:
+                jobs.append(SimJob(scheme="netsparse", matrix=name, k=k,
+                                   config=level_cfgs[level],
+                                   scale_name=scale, rig_batch=batch))
+                keys.append((name, k, level))
+    results = dict(zip(keys, simulate_many(jobs)))
+    rows = []
+    for name in matrices:
+        for k in ks:
+            su = results[(name, k, "suopt")]
             for i, level in enumerate(LEVELS):
-                cfg = NetSparseConfig(
-                    features=FeatureFlags.ablation_level(level)
-                )
-                topo = build_cluster_topology(cfg)
-                ns = simulate_netsparse(mat, k, cfg, topo,
-                                        rig_batch=batch, scale=sc)
+                ns = results[(name, k, level)]
                 tail = ns.tail_node
                 spd = su.total_time / ns.total_time
                 trfc = su.recv_wire_bytes[tail] / max(

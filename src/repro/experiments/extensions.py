@@ -16,15 +16,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis import rack_sharing_fraction, working_set_sizes
-from repro.cluster import build_cluster_topology, simulate_netsparse
+from repro.cluster import build_cluster_topology
 from repro.cluster.iterative import run_iterations
 from repro.config import NetSparseConfig
 from repro.core.autotune import tune_rig_batch
 from repro.core.concat_virtual import VirtualConcatenator
 from repro.core.concat import DelayQueueConcatenator
-from repro.core.rig import rig_generation_time
 from repro.dessim import run_des_gather
 from repro.experiments.runner import ExpTable, experiment
+from repro.parallel import SimJob, simulate, simulate_many
 from repro.partition import OneDPartition
 from repro.sim import Simulator
 from repro.sparse.spgemm import spgemm_comm_analysis
@@ -69,13 +69,13 @@ def run_des_validation(scale: str = "tiny", k: int = 16) -> ExpTable:
     packet-level DES on small clusters (2 racks x 4 nodes)."""
     rows = []
     cfg = NetSparseConfig(n_nodes=8, n_racks=2, nodes_per_rack=4)
-    from repro.network import LeafSpine
-
-    topo = LeafSpine(n_racks=2, nodes_per_rack=4, n_spines=1)
     for name in ("arabic", "queen", "europe"):
         mat = load_benchmark(name, "tiny")
         des = run_des_gather(mat, k, n_racks=2, nodes_per_rack=4)
-        trace = simulate_netsparse(mat, k, cfg, topo, scale=0.01)
+        trace = simulate(
+            "netsparse", name, k, config=cfg, scale_name="tiny", scale=0.01,
+            topology=("leafspine", 2, 4, 1),
+        )
         des_bytes = des.host_down_bytes.sum()
         trace_bytes = trace.recv_wire_bytes.sum()
         rows.append([
@@ -169,16 +169,15 @@ def run_autotune(scale: str = "small", k: int = 16) -> ExpTable:
     defaults.
     """
     cfg = NetSparseConfig()
-    topo = build_cluster_topology(cfg)
     rows = []
     for name in MATRIX_NAMES:
-        mat = load_benchmark(name, scale)
-        sc = scale_factor(name, mat)
         static_batch = BENCHMARKS[name].default_rig_batch
 
         def evaluate(batch):
-            return simulate_netsparse(mat, k, cfg, topo, rig_batch=batch,
-                                      scale=sc).total_time
+            # Adaptive probing is inherently sequential, but routing
+            # each probe through the engine memoizes it on disk.
+            return simulate("netsparse", name, k, config=cfg,
+                            scale_name=scale, rig_batch=batch).total_time
 
         static_time = evaluate(static_batch)
         tuned = tune_rig_batch(evaluate)
@@ -315,24 +314,28 @@ def run_scaling(scale: str = "small", k: int = 16,
                 node_counts=(16, 32, 64, 128)) -> ExpTable:
     """Communication speedup of NetSparse over SUOpt as the cluster
     grows (the strong-scaling view behind Figure 13's endpoints)."""
-    from repro.baselines.su import simulate_suopt
-    from repro.network import LeafSpine
-
-    rows = []
+    jobs, keys = [], []
     for name in ("arabic", "europe", "queen"):
-        mat = load_benchmark(name, scale)
-        sc = scale_factor(name, mat)
         batch = BENCHMARKS[name].default_rig_batch
         for n in node_counts:
             racks = max(n // 16, 1)
             per_rack = n // racks
             cfg = NetSparseConfig(n_nodes=n, n_racks=racks,
                                   nodes_per_rack=per_rack)
-            topo = LeafSpine(n_racks=racks, nodes_per_rack=per_rack,
-                             n_spines=min(8, racks * 2))
-            ns = simulate_netsparse(mat, k, cfg, topo, rig_batch=batch,
-                                    scale=sc)
-            su = simulate_suopt(mat, k, cfg)
+            topo_spec = ("leafspine", racks, per_rack, min(8, racks * 2))
+            jobs.append(SimJob(scheme="netsparse", matrix=name, k=k,
+                               config=cfg, scale_name=scale,
+                               rig_batch=batch, topology=topo_spec))
+            keys.append((name, n, "netsparse"))
+            jobs.append(SimJob(scheme="suopt", matrix=name, k=k,
+                               config=cfg, scale_name=scale))
+            keys.append((name, n, "suopt"))
+    results = dict(zip(keys, simulate_many(jobs)))
+    rows = []
+    for name in ("arabic", "europe", "queen"):
+        for n in node_counts:
+            ns = results[(name, n, "netsparse")]
+            su = results[(name, n, "suopt")]
             rows.append([name, n,
                          round(su.total_time / ns.total_time, 1),
                          round(ns.total_time * 1e6, 2)])
@@ -351,22 +354,23 @@ def run_scaling(scale: str = "small", k: int = 16,
 def run_hybrid_baseline(scale: str = "small", k: int = 16) -> ExpTable:
     """The Two-Face-style hybrid SU/SA software baseline (paper ref
     [11]) against SUOpt, SAOpt and NetSparse."""
-    from repro.baselines.hybrid import simulate_hybrid
-    from repro.baselines.saopt import simulate_saopt
-    from repro.baselines.su import simulate_suopt
-
     cfg = NetSparseConfig()
-    topo = build_cluster_topology(cfg)
+    schemes = ("suopt", "saopt", "hybrid", "netsparse")
+    jobs = [
+        SimJob(scheme=s, matrix=name, k=k, config=cfg, scale_name=scale,
+               rig_batch=(BENCHMARKS[name].default_rig_batch
+                          if s == "netsparse" else None))
+        for name in MATRIX_NAMES for s in schemes
+    ]
+    results = dict(zip(
+        ((j.matrix, j.scheme) for j in jobs), simulate_many(jobs)
+    ))
     rows = []
     for name in MATRIX_NAMES:
-        mat = load_benchmark(name, scale)
-        sc = scale_factor(name, mat)
-        batch = BENCHMARKS[name].default_rig_batch
-        su = simulate_suopt(mat, k, cfg)
-        sa = simulate_saopt(mat, k, cfg, scale=sc)
-        hy = simulate_hybrid(mat, k, cfg, scale=sc)
-        ns = simulate_netsparse(mat, k, cfg, topo, rig_batch=batch,
-                                scale=sc)
+        su = results[(name, "suopt")]
+        sa = results[(name, "saopt")]
+        hy = results[(name, "hybrid")]
+        ns = results[(name, "netsparse")]
         rows.append([
             name,
             round(su.total_time / hy.total_time, 2),
@@ -395,23 +399,20 @@ def run_comm_energy(scale: str = "small", k: int = 16) -> ExpTable:
     Traffic reductions translate into network energy; per-PR software
     costs translate into CPU energy.
     """
-    from repro.baselines.saopt import simulate_saopt
-    from repro.baselines.su import simulate_suopt
     from repro.hw.energy import communication_energy
 
     cfg = NetSparseConfig()
-    topo = build_cluster_topology(cfg)
     rows = []
     for name in MATRIX_NAMES:
-        mat = load_benchmark(name, scale)
-        sc = scale_factor(name, mat)
         batch = BENCHMARKS[name].default_rig_batch
-        results = {
-            "suopt": simulate_suopt(mat, k, cfg),
-            "saopt": simulate_saopt(mat, k, cfg, scale=sc),
-            "netsparse": simulate_netsparse(mat, k, cfg, topo,
-                                            rig_batch=batch, scale=sc),
-        }
+        schemes = ("suopt", "saopt", "netsparse")
+        jobs = [
+            SimJob(scheme=s, matrix=name, k=k, config=cfg,
+                   scale_name=scale,
+                   rig_batch=batch if s == "netsparse" else None)
+            for s in schemes
+        ]
+        results = dict(zip(schemes, simulate_many(jobs)))
         energies = {
             s: communication_energy(r, cfg) for s, r in results.items()
         }
@@ -489,11 +490,9 @@ def run_partitioning(scale: str = "small", k: int = 16) -> ExpTable:
     from repro.partition import OneDPartition as _OneD, balanced_by_nnz
 
     cfg = NetSparseConfig()
-    topo = build_cluster_topology(cfg)
     rows = []
     for name in MATRIX_NAMES:
         mat = load_benchmark(name, scale)
-        sc = scale_factor(name, mat)
         batch = BENCHMARKS[name].default_rig_batch
         results = {}
         imbalance = {}
@@ -504,13 +503,13 @@ def run_partitioning(scale: str = "small", k: int = 16) -> ExpTable:
         ):
             nnz = part.node_nnz()
             imbalance[label] = float(nnz.max() / max(nnz.mean(), 1))
-            comm = simulate_netsparse(
-                mat, k, cfg, topo, rig_batch=batch, scale=sc,
-                partition=part,
+            comm = simulate(
+                "netsparse", name, k, config=cfg, scale_name=scale,
+                rig_batch=batch, partition=label,
             )
             results[label] = comm
             # End to end: per-node compute on this partition + comm.
-            from repro.accel.spade import SpadeConfig, spmm_compute_time
+            from repro.accel.spade import spmm_compute_time
 
             compute = max(
                 spmm_compute_time(

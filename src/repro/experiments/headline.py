@@ -2,18 +2,16 @@
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 import numpy as np
 
 from repro.cluster.endtoend import end_to_end_time
-from repro.config import NetSparseConfig
 from repro.experiments.runner import ExpTable, experiment, run_schemes
 from repro.sparse.suite import MATRIX_NAMES
 
 
-@lru_cache(maxsize=64)
 def _schemes(name: str, k: int, scale_name: str):
+    # No lru_cache here any more: the execution engine's memo layer
+    # dedupes repeats across *all* experiments, not just this module.
     return run_schemes(name, k, scale_name=scale_name)
 
 

@@ -7,11 +7,9 @@ import numpy as np
 from repro.accel import SPR_DDR, SPR_HBM
 from repro.cluster.endtoend import end_to_end_time
 from repro.config import NetSparseConfig
-from repro.cluster import build_cluster_topology, simulate_netsparse
-from repro.baselines.saopt import simulate_saopt
-from repro.baselines.su import simulate_suopt
 from repro.experiments.runner import ExpTable, experiment
-from repro.sparse.suite import BENCHMARKS, MATRIX_NAMES, load_benchmark, scale_factor
+from repro.parallel import SimJob, simulate_many
+from repro.sparse.suite import BENCHMARKS, MATRIX_NAMES, load_benchmark
 
 
 def _gmean(values) -> float:
@@ -21,22 +19,32 @@ def _gmean(values) -> float:
 
 @experiment("fig21")
 def run_fig21(scale: str = "small", k: int = 128) -> ExpTable:
-    """Figure 21: end-to-end speedup with CPU compute (DDR and HBM)."""
+    """Figure 21: end-to-end speedup with CPU compute (DDR and HBM).
+
+    The communication results are CPU-independent, so the engine batch
+    covers them once; only the end-to-end composition differs per CPU.
+    """
     cfg = NetSparseConfig()
-    topo = build_cluster_topology(cfg)
+    jobs, keys = [], []
+    for name in MATRIX_NAMES:
+        batch = BENCHMARKS[name].default_rig_batch
+        for scheme in ("suopt", "saopt", "netsparse"):
+            jobs.append(SimJob(
+                scheme=scheme, matrix=name, k=k, config=cfg,
+                scale_name=scale,
+                rig_batch=batch if scheme == "netsparse" else None,
+            ))
+            keys.append((name, scheme))
+    results = dict(zip(keys, simulate_many(jobs)))
     rows = []
     agg = {}
     for cpu in (SPR_DDR, SPR_HBM):
         accel = cpu.as_roofline()
         for name in MATRIX_NAMES:
             mat = load_benchmark(name, scale)
-            sc = scale_factor(name, mat)
-            batch = BENCHMARKS[name].default_rig_batch
             comm = {
-                "suopt": simulate_suopt(mat, k, cfg),
-                "saopt": simulate_saopt(mat, k, cfg, scale=sc),
-                "netsparse": simulate_netsparse(mat, k, cfg, topo,
-                                                rig_batch=batch, scale=sc),
+                scheme: results[(name, scheme)]
+                for scheme in ("suopt", "saopt", "netsparse")
             }
             row = [cpu.name, name]
             for scheme in ("suopt", "saopt", "netsparse"):
@@ -71,17 +79,25 @@ def run_fig21(scale: str = "small", k: int = 128) -> ExpTable:
 @experiment("fig22")
 def run_fig22(scale: str = "small", k: int = 16) -> ExpTable:
     """Figure 22: NetSparse speedup over SUOpt across fabric topologies."""
-    rows = []
-    for topo_name in ("leafspine", "hyperx", "dragonfly"):
+    topo_names = ("leafspine", "hyperx", "dragonfly")
+    jobs, keys = [], []
+    for topo_name in topo_names:
         cfg = NetSparseConfig(topology=topo_name)
-        topo = build_cluster_topology(cfg)
         for name in MATRIX_NAMES:
-            mat = load_benchmark(name, scale)
-            sc = scale_factor(name, mat)
             batch = BENCHMARKS[name].default_rig_batch
-            ns = simulate_netsparse(mat, k, cfg, topo, rig_batch=batch,
-                                    scale=sc)
-            su = simulate_suopt(mat, k, cfg)
+            jobs.append(SimJob(scheme="netsparse", matrix=name, k=k,
+                               config=cfg, scale_name=scale,
+                               rig_batch=batch))
+            keys.append((topo_name, name, "netsparse"))
+            jobs.append(SimJob(scheme="suopt", matrix=name, k=k,
+                               config=cfg, scale_name=scale))
+            keys.append((topo_name, name, "suopt"))
+    results = dict(zip(keys, simulate_many(jobs)))
+    rows = []
+    for topo_name in topo_names:
+        for name in MATRIX_NAMES:
+            ns = results[(topo_name, name, "netsparse")]
+            su = results[(topo_name, name, "suopt")]
             rows.append([topo_name, name,
                          round(su.total_time / ns.total_time, 1)])
     return ExpTable(

@@ -34,7 +34,7 @@ def ascii_bars(
     else:
         scaled = list(values)
     top = max(scaled) or 1.0
-    label_w = max(len(str(l)) for l in labels)
+    label_w = max(len(str(lb)) for lb in labels)
     lines = []
     for label, value, s in zip(labels, values, scaled):
         bar = "#" * max(int(round(s / top * width)), 1 if value > 0 else 0)

@@ -12,6 +12,7 @@ from typing import List, Optional, Sequence
 
 from repro.experiments.runner import EXPERIMENTS, ExpTable, list_experiments
 from repro.cli import _run_with_scale
+from repro.parallel import get_engine
 
 __all__ = ["generate_report"]
 
@@ -82,4 +83,21 @@ def generate_report(
             sections.append(f"*Note:* {note}")
         sections.append(f"*({elapsed:.1f}s)*")
         sections.append("")
+    stats = get_engine().stats
+    sections += [
+        "## Execution stats",
+        "",
+        "| jobs | memo hits | cache hits | executed | hit rate | "
+        "sim time | saved |",
+        "|---|---|---|---|---|---|---|",
+        f"| {stats.jobs} | {stats.memo_hits} | {stats.cache_hits} "
+        f"| {stats.executed} | {stats.hit_rate * 100:.1f}% "
+        f"| {stats.sim_seconds:.1f}s | {stats.saved_seconds:.1f}s |",
+        "",
+        "Jobs are independent simulations routed through the execution "
+        "engine (`--jobs N` to parallelize); hits replay memoized "
+        "results from the content-addressed cache (`netsparse cache "
+        "info`).",
+        "",
+    ]
     return "\n".join(sections)

@@ -6,10 +6,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.config import NetSparseConfig
-from repro.cluster import build_cluster_topology, simulate_netsparse
+from repro.cluster import simulate_netsparse
 from repro.baselines.saopt import simulate_saopt
 from repro.baselines.su import simulate_suopt
-from repro.sparse.suite import BENCHMARKS, MATRIX_NAMES, load_benchmark, scale_factor
+from repro.parallel import SimJob, get_engine
+from repro.sparse.suite import BENCHMARKS, load_benchmark, scale_factor
 
 __all__ = [
     "EXPERIMENTS",
@@ -109,22 +110,37 @@ def run_schemes(
     rig_batch: Optional[int] = None,
     seed: int = 7,
 ):
-    """Run the requested communication schemes for one (matrix, K)."""
+    """Run the requested communication schemes for one (matrix, K).
+
+    The work decomposes into one independent job per scheme and runs
+    through the process-global execution engine (parallel fan-out and
+    result memoization, see :mod:`repro.parallel`).  Passing an
+    explicit ``topology`` object bypasses the engine: arbitrary
+    fabrics are not content-addressable.
+    """
     config = config or NetSparseConfig()
     mat = load_benchmark(name, scale_name, seed=seed)
     sc = scale_factor(name, mat)
     if rig_batch is None:
         rig_batch = BENCHMARKS[name].default_rig_batch
     out = {}
-    if "netsparse" in schemes:
-        topo = topology or build_cluster_topology(config)
-        out["netsparse"] = simulate_netsparse(
-            mat, k, config, topo, rig_batch=rig_batch, scale=sc
-        )
-    if "saopt" in schemes:
-        out["saopt"] = simulate_saopt(mat, k, config, scale=sc)
-    if "suopt" in schemes:
-        out["suopt"] = simulate_suopt(mat, k, config)
+    if topology is not None:
+        if "netsparse" in schemes:
+            out["netsparse"] = simulate_netsparse(
+                mat, k, config, topology, rig_batch=rig_batch, scale=sc
+            )
+        if "saopt" in schemes:
+            out["saopt"] = simulate_saopt(mat, k, config, scale=sc)
+        if "suopt" in schemes:
+            out["suopt"] = simulate_suopt(mat, k, config)
+    else:
+        jobs = [
+            SimJob(scheme=s, matrix=name, k=k, config=config,
+                   scale_name=scale_name, seed=seed,
+                   rig_batch=rig_batch if s == "netsparse" else None)
+            for s in schemes
+        ]
+        out.update(zip(schemes, get_engine().run_jobs(jobs)))
     out["matrix"] = mat
     out["scale"] = sc
     return out

@@ -1,21 +1,32 @@
-"""Sensitivity studies: Figures 15-18 (§9.3)."""
+"""Sensitivity studies: Figures 15-18 (§9.3).
+
+Each figure's sweep is embarrassingly parallel, so it is expressed as
+one batch of :class:`~repro.parallel.SimJob` records and handed to the
+execution engine in a single call — duplicate design points (the
+reference configuration is usually also a sweep point) are computed
+once, and every point is memoized in the result cache.
+"""
 
 from __future__ import annotations
 
 from dataclasses import replace
 
 from repro.config import NetSparseConfig
-from repro.cluster import build_cluster_topology, simulate_netsparse
 from repro.experiments.runner import ExpTable, experiment
-from repro.sparse.suite import BENCHMARKS, MATRIX_NAMES, load_benchmark, scale_factor
+from repro.parallel import SimJob, simulate_many
+from repro.sparse.suite import BENCHMARKS, MATRIX_NAMES
 
 
-def _run(name, k, cfg, batch, topo=None, **kw):
-    mat = load_benchmark(name, kw.pop("scale_name", "small"))
-    sc = scale_factor(name, mat)
-    topo = topo or build_cluster_topology(cfg)
-    return simulate_netsparse(mat, k, cfg, topo, rig_batch=batch, scale=sc,
-                              **kw)
+def _sweep(specs, k, scale):
+    """Run ``[(name, config, rig_batch), ...]`` as one engine batch and
+    return ``{spec: total_time}``."""
+    jobs = [
+        SimJob(scheme="netsparse", matrix=name, k=k, config=cfg,
+               scale_name=scale, rig_batch=batch)
+        for name, cfg, batch in specs
+    ]
+    results = simulate_many(jobs)
+    return {spec: res.total_time for spec, res in zip(specs, results)}
 
 
 @experiment("fig15")
@@ -27,13 +38,18 @@ def run_fig15(scale: str = "small", k: int = 16,
     Speedups are relative to a 16k batch, as in the paper.
     """
     cfg = NetSparseConfig()
-    topo = build_cluster_topology(cfg)
+    ref_batch = 16 * 1024
+    specs = [
+        (name, cfg, batch)
+        for name in MATRIX_NAMES
+        for batch in (ref_batch,) + tuple(batches)
+    ]
+    times = _sweep(specs, k, scale)
     rows = []
     for name in MATRIX_NAMES:
-        ref = _run(name, k, cfg, 16 * 1024, topo).total_time
+        ref = times[(name, cfg, ref_batch)]
         for batch in batches:
-            t = _run(name, k, cfg, batch, topo).total_time
-            rows.append([name, batch, round(ref / t, 3)])
+            rows.append([name, batch, round(ref / times[(name, cfg, batch)], 3)])
     return ExpTable(
         exp_id="fig15",
         title="Speedup vs RIG batch size (relative to 16k batch)",
@@ -52,15 +68,21 @@ def run_fig16(scale: str = "small", k: int = 16,
 
     Speedup is over the 2-unit (1 client + 1 server) configuration.
     """
+    cfgs = {units: NetSparseConfig(n_rig_units=units)
+            for units in set(unit_counts) | {2}}
+    specs = [
+        (name, cfgs[units], BENCHMARKS[name].default_rig_batch)
+        for name in MATRIX_NAMES
+        for units in (2,) + tuple(unit_counts)
+    ]
+    times = _sweep(specs, k, scale)
     rows = []
     for name in MATRIX_NAMES:
         batch = BENCHMARKS[name].default_rig_batch
-        base_cfg = NetSparseConfig(n_rig_units=2)
-        base = _run(name, k, base_cfg, batch).total_time
+        base = times[(name, cfgs[2], batch)]
         for units in unit_counts:
-            cfg = NetSparseConfig(n_rig_units=units)
-            t = _run(name, k, cfg, batch).total_time
-            rows.append([name, units, round(base / t, 2)])
+            rows.append([name, units,
+                         round(base / times[(name, cfgs[units], batch)], 2)])
     return ExpTable(
         exp_id="fig16",
         title="Speedup vs number of RIG Units (relative to 2 units)",
@@ -78,24 +100,34 @@ def run_fig17(scale: str = "small", k: int = 16,
 
     Speedups are over no concatenation (delay 0 == concat disabled).
     """
+    no_concat = NetSparseConfig().with_features(
+        concat_nic=False, concat_switch=False
+    )
+    cfgs = {
+        delay: replace(
+            NetSparseConfig(),
+            concat_delay_cycles_nic=delay,
+            concat_delay_cycles_switch=max(delay // 4, 1),
+        )
+        for delay in delays if delay != 0
+    }
+    cfgs[0] = no_concat
+    specs = [
+        (name, cfgs[delay], BENCHMARKS[name].default_rig_batch)
+        for name in MATRIX_NAMES
+        for delay in (0,) + tuple(d for d in delays if d != 0)
+    ]
+    times = _sweep(specs, k, scale)
     rows = []
     for name in MATRIX_NAMES:
         batch = BENCHMARKS[name].default_rig_batch
-        no_concat = NetSparseConfig().with_features(
-            concat_nic=False, concat_switch=False
-        )
-        base = _run(name, k, no_concat, batch).total_time
+        base = times[(name, no_concat, batch)]
         for delay in delays:
             if delay == 0:
                 rows.append([name, 0, 1.0])
                 continue
-            cfg = replace(
-                NetSparseConfig(),
-                concat_delay_cycles_nic=delay,
-                concat_delay_cycles_switch=max(delay // 4, 1),
-            )
-            t = _run(name, k, cfg, batch).total_time
-            rows.append([name, delay, round(base / t, 3)])
+            rows.append([name, delay,
+                         round(base / times[(name, cfgs[delay], batch)], 3)])
     return ExpTable(
         exp_id="fig17",
         title="Speedup vs concatenation delay cycles (over no concat)",
@@ -115,23 +147,30 @@ def run_fig18(scale: str = "small", k: int = 16,
 
     Sizes are paper-scale MB per switch (scaled like the matrices).
     """
+    def cfg_for(mb):
+        if mb == 0:
+            return NetSparseConfig().with_features(property_cache=False)
+        if mb < 0:
+            return replace(NetSparseConfig(),
+                           pcache_bytes=1 << 40)  # effectively infinite
+        return replace(NetSparseConfig(), pcache_bytes=mb * 1024 * 1024)
+
+    cfgs = {mb: cfg_for(mb) for mb in sizes_mb}
+    base_cfg = cfg_for(0)
+    specs = [
+        (name, cfg, BENCHMARKS[name].default_rig_batch)
+        for name in MATRIX_NAMES
+        for cfg in (base_cfg,) + tuple(cfgs[mb] for mb in sizes_mb)
+    ]
+    times = _sweep(specs, k, scale)
     rows = []
     for name in MATRIX_NAMES:
         batch = BENCHMARKS[name].default_rig_batch
-        base_cfg = NetSparseConfig().with_features(property_cache=False)
-        base = _run(name, k, base_cfg, batch).total_time
+        base = times[(name, base_cfg, batch)]
         for mb in sizes_mb:
-            if mb == 0:
-                cfg = NetSparseConfig().with_features(property_cache=False)
-            elif mb < 0:
-                cfg = replace(NetSparseConfig(),
-                              pcache_bytes=1 << 40)  # effectively infinite
-            else:
-                cfg = replace(NetSparseConfig(),
-                              pcache_bytes=mb * 1024 * 1024)
-            t = _run(name, k, cfg, batch).total_time
             label = "inf" if mb < 0 else mb
-            rows.append([name, label, round(base / t, 3)])
+            rows.append([name, label,
+                         round(base / times[(name, cfgs[mb], batch)], 3)])
     return ExpTable(
         exp_id="fig18",
         title="Speedup vs Property Cache size (over no cache)",

@@ -66,7 +66,7 @@ def flow_completion_time(
         raise ValueError("efficiency must be in (0, 1]")
 
     loads = topology.link_loads(traffic)
-    bandwidths = np.array([l.bandwidth for l in topology.links]) * efficiency
+    bandwidths = np.array([ln.bandwidth for ln in topology.links]) * efficiency
     drain = np.divide(loads, bandwidths)
     bottleneck = int(np.argmax(drain)) if loads.any() else 0
 

@@ -62,8 +62,8 @@ class PacketNetwork:
         self.topology = topology
         self.switch_hook = switch_hook
         self.link_queues: List[Store] = [
-            Store(sim, capacity=queue_packets, name=f"link{l.link_id}")
-            for l in topology.links
+            Store(sim, capacity=queue_packets, name=f"link{ln.link_id}")
+            for ln in topology.links
         ]
         self.rx: Dict[int, Store] = {
             node: Store(sim, name=f"rx{node}") for node in range(topology.n_nodes)

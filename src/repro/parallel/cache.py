@@ -1,0 +1,168 @@
+"""Content-addressed on-disk cache for simulation results.
+
+Entries are pickled :class:`~repro.results.CommResult` records stored
+under ``<root>/<digest[:2]>/<digest>.pkl``, keyed by the owning
+:class:`~repro.parallel.jobs.SimJob`'s content digest (which already
+folds in a code-version salt).  Each entry carries the wall-clock
+seconds the original computation took, so ``netsparse cache info`` can
+report how much simulation time the cache is holding.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+__all__ = ["CacheEntry", "CacheInfo", "ResultCache", "default_cache_dir",
+           "ENV_CACHE_DIR"]
+
+#: Environment override for the default cache location.
+ENV_CACHE_DIR = "NETSPARSE_CACHE_DIR"
+
+_ENTRY_FORMAT = 1
+
+
+def default_cache_dir() -> Path:
+    """``$NETSPARSE_CACHE_DIR``, else ``$XDG_CACHE_HOME/netsparse``,
+    else ``~/.cache/netsparse``."""
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "netsparse"
+
+
+@dataclass
+class CacheEntry:
+    """One stored result plus the provenance needed for ``cache info``."""
+
+    digest: str
+    meta: dict
+    elapsed: float
+    created: float
+    result: object = None
+
+
+@dataclass
+class CacheInfo:
+    """Aggregate cache statistics (the ``netsparse cache info`` payload)."""
+
+    root: Path
+    n_entries: int = 0
+    total_bytes: int = 0
+    sim_seconds: float = 0.0
+    by_scheme: Dict[str, int] = field(default_factory=dict)
+
+    def format(self) -> str:
+        lines = [
+            f"cache dir    : {self.root}",
+            f"entries      : {self.n_entries}",
+            f"size         : {self.total_bytes / 1e6:.2f} MB",
+            f"sim time held: {self.sim_seconds:.1f}s of simulation",
+        ]
+        for scheme in sorted(self.by_scheme):
+            lines.append(f"  {scheme:<10} {self.by_scheme[scheme]} entries")
+        return "\n".join(lines)
+
+
+class ResultCache:
+    """Content-addressed pickle store; corrupt entries read as misses."""
+
+    def __init__(self, root=None):
+        self.root = Path(root).expanduser() if root else default_cache_dir()
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.pkl"
+
+    def get(self, digest: str) -> Optional[CacheEntry]:
+        path = self._path(digest)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if payload.get("format") != _ENTRY_FORMAT:
+                raise ValueError("stale cache entry format")
+            return CacheEntry(
+                digest=digest,
+                meta=payload.get("meta", {}),
+                elapsed=payload.get("elapsed", 0.0),
+                created=payload.get("created", 0.0),
+                result=payload["result"],
+            )
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Unreadable/corrupt entry: drop it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, digest: str, result, *, meta: dict, elapsed: float) -> None:
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": _ENTRY_FORMAT,
+            "digest": digest,
+            "meta": meta,
+            "elapsed": float(elapsed),
+            "created": time.time(),
+            "result": result,
+        }
+        # Atomic publish: concurrent writers of the same digest race
+        # benignly (identical deterministic content either way).
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- maintenance ---------------------------------------------------
+
+    def _entry_files(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        yield from sorted(self.root.glob("*/*.pkl"))
+
+    def iter_entries(self) -> Iterator[CacheEntry]:
+        """Entry metadata (results included) for every readable file."""
+        for path in self._entry_files():
+            entry = self.get(path.stem)
+            if entry is not None:
+                yield entry
+
+    def info(self) -> CacheInfo:
+        info = CacheInfo(root=self.root)
+        for path in self._entry_files():
+            entry = self.get(path.stem)
+            if entry is None:
+                continue
+            info.n_entries += 1
+            info.total_bytes += path.stat().st_size
+            info.sim_seconds += entry.elapsed
+            scheme = entry.meta.get("scheme", "?")
+            info.by_scheme[scheme] = info.by_scheme.get(scheme, 0) + 1
+        return info
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        removed = 0
+        for path in self._entry_files():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

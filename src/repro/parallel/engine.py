@@ -1,0 +1,203 @@
+"""The execution engine: fan jobs out, memoize every result.
+
+Three layers answer a :class:`~repro.parallel.jobs.SimJob`:
+
+1. an in-process memo (duplicate jobs inside one run — the historical
+   ``lru_cache`` in the headline experiments, generalized),
+2. the content-addressed on-disk :class:`ResultCache` (repeat runs),
+3. real execution — serial, or mapped over a ``ProcessPoolExecutor``
+   when the engine was configured with ``jobs > 1``.
+
+Parallel and serial execution are bit-identical: every simulator is
+deterministic, and results are reassembled by content digest in the
+caller's submission order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import NetSparseConfig
+from repro.parallel.cache import ResultCache
+from repro.parallel.jobs import SimJob, timed_execute
+
+__all__ = [
+    "EngineStats",
+    "ExecutionEngine",
+    "configure_engine",
+    "engine_scope",
+    "get_engine",
+    "set_engine",
+    "simulate",
+    "simulate_many",
+]
+
+
+@dataclass
+class EngineStats:
+    """Hit/miss/timing counters surfaced by the CLI and the report."""
+
+    jobs: int = 0            # jobs requested
+    memo_hits: int = 0       # answered from the in-process memo
+    cache_hits: int = 0      # answered from the on-disk cache
+    executed: int = 0        # actually simulated (cache misses)
+    sim_seconds: float = 0.0    # compute spent executing jobs
+    saved_seconds: float = 0.0  # recorded compute answered from cache
+
+    @property
+    def hit_rate(self) -> float:
+        if self.jobs == 0:
+            return 0.0
+        return (self.memo_hits + self.cache_hits) / self.jobs
+
+    def summary(self) -> str:
+        return (
+            f"jobs={self.jobs} memo-hits={self.memo_hits} "
+            f"cache-hits={self.cache_hits} executed={self.executed} "
+            f"hit-rate={self.hit_rate:.0%} "
+            f"sim={self.sim_seconds:.1f}s saved={self.saved_seconds:.1f}s"
+        )
+
+
+def _pool_context():
+    # fork shares the parent's already-generated matrices for free;
+    # fall back to the platform default (spawn) where unavailable.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+class ExecutionEngine:
+    """Runs batches of :class:`SimJob` with memoization and fan-out."""
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None):
+        self.jobs = max(int(jobs), 1)
+        self.cache = cache
+        self.stats = EngineStats()
+        self._memo: Dict[str, object] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- execution -----------------------------------------------------
+
+    def run_jobs(self, jobs: Sequence[SimJob]) -> List[object]:
+        """Results for ``jobs``, in order; each distinct job runs once."""
+        jobs = list(jobs)
+        digests = [job.digest() for job in jobs]
+        pending: Dict[str, SimJob] = {}
+        for digest, job in zip(digests, jobs):
+            self.stats.jobs += 1
+            if digest in self._memo or digest in pending:
+                self.stats.memo_hits += 1
+                continue
+            entry = self.cache.get(digest) if self.cache else None
+            if entry is not None:
+                self._memo[digest] = entry.result
+                self.stats.cache_hits += 1
+                self.stats.saved_seconds += entry.elapsed
+            else:
+                pending[digest] = job
+        if pending:
+            self._execute(pending)
+        return [self._memo[digest] for digest in digests]
+
+    def run_job(self, job: SimJob):
+        return self.run_jobs([job])[0]
+
+    def _execute(self, pending: Dict[str, SimJob]) -> None:
+        items = list(pending.items())
+        if self.jobs > 1 and len(items) > 1:
+            pool = self._ensure_pool()
+            outcomes = pool.map(timed_execute, [job for _, job in items],
+                                chunksize=1)
+        else:
+            outcomes = (timed_execute(job) for _, job in items)
+        for (digest, job), (result, elapsed) in zip(items, outcomes):
+            self._memo[digest] = result
+            self.stats.executed += 1
+            self.stats.sim_seconds += elapsed
+            if self.cache is not None:
+                self.cache.put(digest, result, meta=job.describe(),
+                               elapsed=elapsed)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=_pool_context()
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- process-global default engine ------------------------------------
+
+_default_engine: Optional[ExecutionEngine] = None
+
+
+def get_engine() -> ExecutionEngine:
+    """The process default: serial and uncached until configured."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = ExecutionEngine()
+    return _default_engine
+
+
+def configure_engine(jobs: int = 1, cache_dir=None,
+                     use_cache: bool = True) -> ExecutionEngine:
+    """Install (and return) a new default engine — the CLI entry point."""
+    global _default_engine
+    if _default_engine is not None:
+        _default_engine.close()
+    cache = ResultCache(cache_dir) if use_cache else None
+    _default_engine = ExecutionEngine(jobs=jobs, cache=cache)
+    return _default_engine
+
+
+def set_engine(engine: Optional[ExecutionEngine]) -> Optional[ExecutionEngine]:
+    """Swap the default engine, returning the previous one (tests)."""
+    global _default_engine
+    previous = _default_engine
+    _default_engine = engine
+    return previous
+
+
+@contextmanager
+def engine_scope(engine: ExecutionEngine):
+    """Temporarily make ``engine`` the default, restoring on exit."""
+    previous = set_engine(engine)
+    try:
+        yield engine
+    finally:
+        set_engine(previous)
+
+
+# -- convenience front door -------------------------------------------
+
+
+def simulate(scheme: str, matrix: str, k: int, *, config=None,
+             scale_name: str = "small", seed: int = 7,
+             rig_batch: Optional[int] = None, scale: Optional[float] = None,
+             topology=None, partition: str = "rows"):
+    """One simulation through the default engine (memo + cache aware)."""
+    job = SimJob(scheme=scheme, matrix=matrix, k=k,
+                 config=config or NetSparseConfig(), scale_name=scale_name,
+                 seed=seed, rig_batch=rig_batch, scale=scale,
+                 topology=topology, partition=partition)
+    return get_engine().run_job(job)
+
+
+def simulate_many(jobs: Sequence[SimJob]) -> List[object]:
+    """A batch of simulations through the default engine."""
+    return get_engine().run_jobs(jobs)

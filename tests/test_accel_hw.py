@@ -3,7 +3,6 @@
 import pytest
 
 from repro.accel import SPR_DDR, SPR_HBM, SpadeConfig, spmm_compute_time
-from repro.config import NetSparseConfig
 from repro.hw import TechModel, rig_unit_area_breakdown, snic_overheads
 from repro.hw.snic import snic_storage_bytes, snic_totals
 from repro.hw.switch import crossbar_area_range_mm2, switch_totals

@@ -9,10 +9,9 @@ from repro.analysis import (
     transfer_redundancy,
     working_set_sizes,
 )
-from repro.partition import OneDPartition
 from repro.sparse import COOMatrix
 from repro.sparse.suite import load_benchmark
-from repro.sparse.synthetic import banded_fem, road_network, web_crawl
+from repro.sparse.synthetic import banded_fem, web_crawl
 
 
 def diag_matrix(n):

@@ -1,6 +1,5 @@
 """Tests for the SUOpt / SAOpt / vanilla-SA baselines."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import (
@@ -65,8 +64,6 @@ class TestSaopt:
     def test_per_rank_filtering_weaker_than_global(self, arabic):
         """Per-rank dedup keeps cross-rank duplicates: total sent PRs
         exceed the node-global unique count (the paper's -#PR gap)."""
-        from repro.partition import OneDPartition
-
         sent, _, part = saopt_pr_counts(arabic, CFG16)
         global_unique = sum(
             t.unique_remote_count() for t in part.node_traces()

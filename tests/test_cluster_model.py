@@ -5,7 +5,7 @@ import pytest
 
 from repro.config import FeatureFlags, NetSparseConfig
 from repro.cluster import build_cluster_topology, simulate_netsparse
-from repro.cluster.model import NetSparseKnobs, _DelayedInsertCache
+from repro.cluster.model import _DelayedInsertCache
 from repro.core.pcache import PropertyCache
 from repro.sparse.suite import load_benchmark
 

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.concat import ConcatStats, DelayQueueConcatenator, window_concat
+from repro.core.concat import DelayQueueConcatenator, window_concat
 from repro.sim import Simulator
 
 

@@ -1,7 +1,6 @@
 """Tests for the packet-level DES cluster, including cross-validation
 against the vectorized trace model."""
 
-import numpy as np
 import pytest
 
 from repro.config import NetSparseConfig

@@ -5,7 +5,6 @@ numerics)."""
 import numpy as np
 import pytest
 
-from repro.accel import SpadeConfig
 from repro.cluster import simulate_netsparse, simulate_saopt, simulate_suopt
 from repro.cluster.endtoend import (
     end_to_end_time,

@@ -5,12 +5,11 @@ import numpy as np
 import pytest
 
 from repro.cluster.iterative import (
-    IterativeResult,
     run_iterations,
     sample_matrix,
 )
 from repro.config import NetSparseConfig
-from repro.core.autotune import TuneResult, tune_rig_batch
+from repro.core.autotune import tune_rig_batch
 from repro.core.rig import rig_generation_time
 from repro.sparse import COOMatrix
 from repro.sparse.spgemm import spgemm, spgemm_comm_analysis

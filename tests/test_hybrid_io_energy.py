@@ -13,7 +13,6 @@ from repro.baselines.saopt import simulate_saopt
 from repro.baselines.su import simulate_suopt
 from repro.config import NetSparseConfig
 from repro.hw.energy import EnergyCoefficients, communication_energy
-from repro.sparse import COOMatrix
 from repro.sparse.io import (
     load_npz,
     read_matrix_market,

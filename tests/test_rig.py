@@ -4,8 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.rig import (
-    ReadPR,
-    ResponsePR,
     RigClientUnit,
     RigServerUnit,
     rig_generation_time,

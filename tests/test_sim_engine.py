@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim import Simulator, Interrupt
-from repro.sim.engine import AllOf, AnyOf
+from repro.sim.engine import AllOf
 
 
 def test_timeout_advances_clock():

@@ -138,13 +138,13 @@ def test_all_topologies_connected(leafspine, hyperx, dragonfly):
 
 def test_hyperx_trunked_bandwidth(hyperx):
     host_link = hyperx.links[hyperx.route(0, 1)[0]]
-    cross = [l for l in hyperx.links if l.kind == "local"][0]
+    cross = [ln for ln in hyperx.links if ln.kind == "local"][0]
     assert cross.bandwidth == pytest.approx(4 * host_link.bandwidth)
 
 
 def test_dragonfly_global_links_exist(dragonfly):
-    kinds = {l.kind for l in dragonfly.links}
+    kinds = {ln.kind for ln in dragonfly.links}
     assert {"host", "local", "global"} <= kinds
-    n_global = sum(1 for l in dragonfly.links if l.kind == "global")
+    n_global = sum(1 for ln in dragonfly.links if ln.kind == "global")
     # 4 groups -> 6 unordered pairs x 4 links x 2 directions.
     assert n_global == 6 * 4 * 2
