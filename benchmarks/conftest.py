@@ -10,9 +10,18 @@ closer structural statistics.  At ``tiny`` the matrices are too small
 for the paper's quantitative claims, so benchmarks only assert basic
 sanity (``PAPER_CLAIMS`` is False); from ``small`` up they assert the
 paper's qualitative behavior too.
+
+Every session additionally appends to the repo's perf trajectory: a
+machine-readable ``BENCH_<date>.json`` (per-experiment wall time plus
+key table metrics) is written at session end — to the repository root
+by default, or ``$REPRO_BENCH_OUT`` — so run-over-run regressions
+inside the pipeline are diffable, not just eyeballable.
 """
 
+import json
 import os
+import platform
+import time
 
 import pytest
 
@@ -20,6 +29,9 @@ SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
 
 #: Whether the paper's qualitative claims are expected to hold at SCALE.
 PAPER_CLAIMS = SCALE != "tiny"
+
+#: One record per `run_once` call, drained into BENCH_<date>.json.
+_BENCH_RECORDS = []
 
 
 @pytest.fixture(scope="session")
@@ -29,5 +41,54 @@ def scale():
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
-                              rounds=1, iterations=1, warmup_rounds=0)
+    t0 = time.perf_counter()
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1, warmup_rounds=0)
+    elapsed = time.perf_counter() - t0
+    record = {
+        "test": os.environ.get("PYTEST_CURRENT_TEST", "").split(" ")[0],
+        "wall_s": round(elapsed, 4),
+    }
+    exp_id = getattr(result, "exp_id", None)
+    if exp_id is None and args and isinstance(args[0], str):
+        exp_id = args[0]
+    if exp_id is not None:
+        record["experiment"] = exp_id
+    rows = getattr(result, "rows", None)
+    if rows is not None:
+        record["n_rows"] = len(rows)
+    _BENCH_RECORDS.append(record)
+    return result
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit the machine-readable perf trajectory entry."""
+    if not _BENCH_RECORDS:
+        return
+    out_dir = os.environ.get(
+        "REPRO_BENCH_OUT",
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    date = time.strftime("%Y-%m-%d")
+    payload = {
+        "schema": "repro.bench/v1",
+        "date": date,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "scale": SCALE,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "exitstatus": int(getattr(exitstatus, "value", exitstatus)),
+        "total_wall_s": round(sum(r["wall_s"] for r in _BENCH_RECORDS), 3),
+        "results": sorted(_BENCH_RECORDS, key=lambda r: r["test"]),
+    }
+    try:
+        from repro.parallel import get_engine
+
+        payload["engine"] = get_engine().stats.summary()
+    except Exception:
+        pass
+    path = os.path.join(out_dir, f"BENCH_{date}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"\n[bench] wrote {path} ({len(_BENCH_RECORDS)} results)")

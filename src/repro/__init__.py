@@ -1,0 +1,17 @@
+"""NetSparse reproduction package."""
+
+
+def _detect_version() -> str:
+    """Installed-package version, so bug reports and cached-result
+    provenance can name a build (``netsparse --version``)."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:                       # pragma: no cover - py<3.8
+        return "unknown"
+    try:
+        return version("repro")
+    except PackageNotFoundError:              # running from a source tree
+        return "1.0.0+source"
+
+
+__version__ = _detect_version()

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.config import NetSparseConfig
 from repro.core.concat import ConcatStats, window_concat
 from repro.core.filtering import filter_and_coalesce
@@ -220,40 +221,47 @@ def simulate_netsparse(
     pr_gen_time = np.zeros(n)
     useful_payload = np.zeros(n)
     n_candidates = n_issued = n_filtered = n_coalesced = 0
-    for node, tr in enumerate(traces):
-        remote_idx = tr.remote_idxs
-        remote_owner = tr.remote_owners
-        remote_pos = np.nonzero(tr.remote)[0]
-        useful_payload[node] = np.unique(remote_idx).size * payload
-        n_candidates += remote_idx.size
-        if feats.rig_offload and remote_idx.size:
-            remote_frac = remote_idx.size / max(tr.n_nonzeros, 1)
-            batch_remote = max(int(rig_batch * remote_frac), 1)
-            window = max(int(knobs.inflight_frac * remote_idx.size), 1)
-            fr = filter_and_coalesce(
-                remote_idx,
-                n_units=config.n_client_units,
-                batch_size=batch_remote,
-                inflight_window=window,
-                enable_filtering=feats.filtering,
-                enable_coalescing=feats.coalescing,
+    with telemetry.span("cluster.stage.filter", matrix=matrix.name, k=k):
+        for node, tr in enumerate(traces):
+            remote_idx = tr.remote_idxs
+            remote_owner = tr.remote_owners
+            remote_pos = np.nonzero(tr.remote)[0]
+            useful_payload[node] = np.unique(remote_idx).size * payload
+            n_candidates += remote_idx.size
+            if feats.rig_offload and remote_idx.size:
+                remote_frac = remote_idx.size / max(tr.n_nonzeros, 1)
+                batch_remote = max(int(rig_batch * remote_frac), 1)
+                window = max(int(knobs.inflight_frac * remote_idx.size), 1)
+                fr = filter_and_coalesce(
+                    remote_idx,
+                    n_units=config.n_client_units,
+                    batch_size=batch_remote,
+                    inflight_window=window,
+                    enable_filtering=feats.filtering,
+                    enable_coalescing=feats.coalescing,
+                )
+                mask = fr.issued_mask
+                n_filtered += fr.n_filtered
+                n_coalesced += fr.n_coalesced
+            else:
+                mask = np.ones(remote_idx.size, dtype=bool)
+            node_streams.append(
+                (remote_pos[mask], remote_idx[mask], remote_owner[mask])
             )
-            mask = fr.issued_mask
-            n_filtered += fr.n_filtered
-            n_coalesced += fr.n_coalesced
-        else:
-            mask = np.ones(remote_idx.size, dtype=bool)
-        node_streams.append(
-            (remote_pos[mask], remote_idx[mask], remote_owner[mask])
-        )
-        n_issued += int(mask.sum())
-        pr_gen_time[node] = rig_generation_time(
-            tr.n_nonzeros,
-            config.n_client_units,
-            rig_batch,
-            freq=config.snic_freq,
-            cmd_overhead=cmd_overhead,
-        )
+            n_issued += int(mask.sum())
+            pr_gen_time[node] = rig_generation_time(
+                tr.n_nonzeros,
+                config.n_client_units,
+                rig_batch,
+                freq=config.snic_freq,
+                cmd_overhead=cmd_overhead,
+            )
+    telemetry.count("cluster.filter.candidates", n_candidates,
+                    matrix=matrix.name)
+    telemetry.count("cluster.filter.drops", n_filtered, matrix=matrix.name)
+    telemetry.count("cluster.filter.coalesced", n_coalesced,
+                    matrix=matrix.name)
+    telemetry.count("cluster.filter.issued", n_issued, matrix=matrix.name)
 
     issue_frac = n_issued / max(n_candidates, 1)
     w_nic, w_sw = _concat_windows(config, payload, issue_frac)
@@ -280,67 +288,78 @@ def simulate_netsparse(
         for lid in route[1:-1]:
             fabric_loads[lid] += nbytes
 
-    for rack, members in sorted(racks.items()):
-        merged = _merge_rack_streams(
-            [node_streams[m] for m in members], members
-        )
-        m_src, m_pos = merged["src"], merged["pos"]
-        m_idx, m_owner = merged["idx"], merged["owner"]
+    with telemetry.span("cluster.stage.cache", matrix=matrix.name, k=k):
+        for rack, members in sorted(racks.items()):
+            merged = _merge_rack_streams(
+                [node_streams[m] for m in members], members
+            )
+            m_src, m_pos = merged["src"], merged["pos"]
+            m_idx, m_owner = merged["idx"], merged["owner"]
 
-        # NIC-stage read bytes (host -> ToR) per member node.
-        for node in members:
-            pos, idx, owner = node_streams[node]
-            byte_map, stats = _concat_stage_bytes(owner, 0, config, w_nic)
-            up_bytes[node] += sum(byte_map.values())
-            if not feats.concat_switch:
+            # NIC-stage read bytes (host -> ToR) per member node.
+            for node in members:
+                pos, idx, owner = node_streams[node]
+                byte_map, stats = _concat_stage_bytes(owner, 0, config, w_nic)
+                up_bytes[node] += sum(byte_map.values())
+                if not feats.concat_switch:
+                    n_packets_total += stats.n_packets
+
+            # Property Cache at the ToR middle pipes.
+            if feats.property_cache and m_idx.size:
+                pcache = PropertyCache(
+                    capacity_bytes=pcache_bytes,
+                    ways=config.pcache_ways,
+                    n_segments=config.pcache_segments,
+                    segment_bytes=config.pcache_min_line,
+                )
+                pcache.configure(max(payload, 1))
+                delay = max(int(knobs.cache_inflight_frac * m_idx.size), 1)
+                front = _DelayedInsertCache(pcache, delay)
+                hits = front.process(m_idx)
+                cache_lookups += int(m_idx.size)
+                cache_hits += int(hits.sum())
+            else:
+                hits = np.zeros(m_idx.size, dtype=bool)
+
+            # Cache-hit responses: generated at the ToR, delivered in-rack.
+            if hits.any():
+                hit_src = m_src[hits]
+                byte_map, stats = _concat_stage_bytes(
+                    hit_src, payload, config, read_window_sw
+                )
+                for node_id, b in byte_map.items():
+                    down_bytes[node_id] += b
                 n_packets_total += stats.n_packets
 
-        # Property Cache at the ToR middle pipes.
-        if feats.property_cache and m_idx.size:
-            pcache = PropertyCache(
-                capacity_bytes=pcache_bytes,
-                ways=config.pcache_ways,
-                n_segments=config.pcache_segments,
-                segment_bytes=config.pcache_min_line,
-            )
-            pcache.configure(max(payload, 1))
-            delay = max(int(knobs.cache_inflight_frac * m_idx.size), 1)
-            front = _DelayedInsertCache(pcache, delay)
-            hits = front.process(m_idx)
-            cache_lookups += int(m_idx.size)
-            cache_hits += int(hits.sum())
-        else:
-            hits = np.zeros(m_idx.size, dtype=bool)
-
-        # Cache-hit responses: generated at the ToR, delivered in-rack.
-        if hits.any():
-            hit_src = m_src[hits]
-            byte_map, stats = _concat_stage_bytes(
-                hit_src, payload, config, read_window_sw
-            )
-            for node_id, b in byte_map.items():
-                down_bytes[node_id] += b
-            n_packets_total += stats.n_packets
-
-        # Misses continue toward their owners (switch-stage concat).
-        miss = ~hits
-        if miss.any():
-            ms, mp = m_src[miss], m_pos[miss]
-            mi, mo = m_idx[miss], m_owner[miss]
-            byte_map, stats = _concat_stage_bytes(mo, 0, config, read_window_sw)
-            n_packets_total += stats.n_packets
-            # Distribute rack-stage bytes over (src, owner) flows by PR share.
-            pair_keys = ms * n + mo
-            uniq_pairs, pair_counts = np.unique(pair_keys, return_counts=True)
-            owner_totals = {
-                int(d): cnt for d, cnt in zip(*np.unique(mo, return_counts=True))
-            }
-            for key, cnt in zip(uniq_pairs.tolist(), pair_counts.tolist()):
-                s, d = divmod(key, n)
-                share = byte_map[d] * cnt / owner_totals[d]
-                _route_fabric(s, d, share)
-                down_bytes[d] += share
-            miss_records.append({"src": ms, "pos": mp, "idx": mi, "owner": mo})
+            # Misses continue toward their owners (switch-stage concat).
+            miss = ~hits
+            if miss.any():
+                ms, mp = m_src[miss], m_pos[miss]
+                mi, mo = m_idx[miss], m_owner[miss]
+                byte_map, stats = _concat_stage_bytes(
+                    mo, 0, config, read_window_sw
+                )
+                n_packets_total += stats.n_packets
+                # Distribute rack-stage bytes over (src, owner) flows by
+                # PR share.
+                pair_keys = ms * n + mo
+                uniq_pairs, pair_counts = np.unique(
+                    pair_keys, return_counts=True
+                )
+                owner_totals = {
+                    int(d): cnt
+                    for d, cnt in zip(*np.unique(mo, return_counts=True))
+                }
+                for key, cnt in zip(uniq_pairs.tolist(), pair_counts.tolist()):
+                    s, d = divmod(key, n)
+                    share = byte_map[d] * cnt / owner_totals[d]
+                    _route_fabric(s, d, share)
+                    down_bytes[d] += share
+                miss_records.append(
+                    {"src": ms, "pos": mp, "idx": mi, "owner": mo}
+                )
+    telemetry.count("pcache.lookups", cache_lookups, matrix=matrix.name)
+    telemetry.count("pcache.hits", cache_hits, matrix=matrix.name)
 
     # ---- stage 3: responses from owners -------------------------------
     if miss_records:
@@ -352,70 +371,85 @@ def simulate_netsparse(
 
     served_per_node = np.zeros(n, dtype=np.int64)
     resp_window_sw = w_sw if feats.concat_switch else 1
-    for rack, members in sorted(racks.items()):
-        # Responses produced by owners in this rack, merged at its ToR.
-        sel = np.isin(all_owner, members)
-        if not sel.any():
-            continue
-        r_src, r_pos, r_owner = all_src[sel], all_pos[sel], all_owner[sel]
-        order = np.lexsort((r_owner, r_pos))
-        r_src, r_pos, r_owner = r_src[order], r_pos[order], r_owner[order]
-
-        # NIC-stage response bytes per owner.
-        for owner in members:
-            osel = r_owner == owner
-            if not osel.any():
+    with telemetry.span("cluster.stage.respond", matrix=matrix.name, k=k):
+        for rack, members in sorted(racks.items()):
+            # Responses produced by owners in this rack, merged at its ToR.
+            sel = np.isin(all_owner, members)
+            if not sel.any():
                 continue
-            served_per_node[owner] += int(osel.sum())
-            byte_map, stats = _concat_stage_bytes(
-                r_src[osel], payload, config, w_nic
+            r_src, r_pos, r_owner = all_src[sel], all_pos[sel], all_owner[sel]
+            order = np.lexsort((r_owner, r_pos))
+            r_src, r_pos, r_owner = (
+                r_src[order], r_pos[order], r_owner[order]
             )
-            up_bytes[owner] += sum(byte_map.values())
-            if not feats.concat_switch:
-                n_packets_total += stats.n_packets
 
-        # Switch-stage response bytes toward each requester.
-        byte_map, stats = _concat_stage_bytes(
-            r_src, payload, config, resp_window_sw
-        )
-        n_packets_total += stats.n_packets
-        pair_keys = r_owner * n + r_src
-        uniq_pairs, pair_counts = np.unique(pair_keys, return_counts=True)
-        dest_totals = {
-            int(d): cnt for d, cnt in zip(*np.unique(r_src, return_counts=True))
-        }
-        for key, cnt in zip(uniq_pairs.tolist(), pair_counts.tolist()):
-            o, s = divmod(key, n)
-            share = byte_map[s] * cnt / dest_totals[s]
-            _route_fabric(o, s, share)
-            down_bytes[s] += share
+            # NIC-stage response bytes per owner.
+            for owner in members:
+                osel = r_owner == owner
+                if not osel.any():
+                    continue
+                served_per_node[owner] += int(osel.sum())
+                byte_map, stats = _concat_stage_bytes(
+                    r_src[osel], payload, config, w_nic
+                )
+                up_bytes[owner] += sum(byte_map.values())
+                if not feats.concat_switch:
+                    n_packets_total += stats.n_packets
+
+            # Switch-stage response bytes toward each requester.
+            byte_map, stats = _concat_stage_bytes(
+                r_src, payload, config, resp_window_sw
+            )
+            n_packets_total += stats.n_packets
+            pair_keys = r_owner * n + r_src
+            uniq_pairs, pair_counts = np.unique(pair_keys, return_counts=True)
+            dest_totals = {
+                int(d): cnt
+                for d, cnt in zip(*np.unique(r_src, return_counts=True))
+            }
+            for key, cnt in zip(uniq_pairs.tolist(), pair_counts.tolist()):
+                o, s = divmod(key, n)
+                share = byte_map[s] * cnt / dest_totals[s]
+                _route_fabric(o, s, share)
+                down_bytes[s] += share
 
     # ---- stage 4: timing ----------------------------------------------
-    t_up = up_bytes / config.link_bandwidth
-    t_down = down_bytes / config.link_bandwidth
-    t_pcie = down_bytes / config.pcie_bandwidth
-    t_server = served_per_node / (
-        (config.n_rig_units - config.n_client_units) * config.snic_freq
-    )
-    per_node_prs = np.array(
-        [node_streams[i][0].size for i in range(n)], dtype=np.float64
-    )
-    if feats.concat_nic:
-        cap = _concat_sram_rate_cap(config, payload)
-        t_concat = per_node_prs / cap
-        drain = config.concat_delay_cycles_nic / config.snic_freq
-    else:
-        t_concat = np.zeros(n)
-        drain = 0.0
-    per_node_time = np.maximum.reduce(
-        [pr_gen_time, t_up, t_down, t_pcie, t_server, t_concat]
-    )
-    fabric_time = float((fabric_loads / link_bw).max()) if topo.n_links else 0.0
-    # Fixed latencies scale with the matrix downscaling like every other
-    # absolute time constant (DESIGN.md §5) — at paper scale they are
-    # negligible against millisecond totals, and must stay negligible.
-    rtt = topo.rtt(0, n - 1) * scale
-    total_time = max(float(per_node_time.max()), fabric_time) + rtt + drain * scale
+    with telemetry.span("cluster.stage.timing", matrix=matrix.name, k=k):
+        t_up = up_bytes / config.link_bandwidth
+        t_down = down_bytes / config.link_bandwidth
+        t_pcie = down_bytes / config.pcie_bandwidth
+        t_server = served_per_node / (
+            (config.n_rig_units - config.n_client_units) * config.snic_freq
+        )
+        per_node_prs = np.array(
+            [node_streams[i][0].size for i in range(n)], dtype=np.float64
+        )
+        if feats.concat_nic:
+            cap = _concat_sram_rate_cap(config, payload)
+            t_concat = per_node_prs / cap
+            drain = config.concat_delay_cycles_nic / config.snic_freq
+        else:
+            t_concat = np.zeros(n)
+            drain = 0.0
+        per_node_time = np.maximum.reduce(
+            [pr_gen_time, t_up, t_down, t_pcie, t_server, t_concat]
+        )
+        fabric_time = (
+            float((fabric_loads / link_bw).max()) if topo.n_links else 0.0
+        )
+        # Fixed latencies scale with the matrix downscaling like every
+        # other absolute time constant (DESIGN.md §5) — at paper scale
+        # they are negligible against millisecond totals, and must stay
+        # negligible.
+        rtt = topo.rtt(0, n - 1) * scale
+        total_time = (
+            max(float(per_node_time.max()), fabric_time) + rtt + drain * scale
+        )
+
+    telemetry.count("concat.packets", n_packets_total, matrix=matrix.name)
+    if n_packets_total:
+        telemetry.observe("concat.prs_per_packet",
+                          n_issued / n_packets_total, matrix=matrix.name)
 
     return CommResult(
         scheme="netsparse",

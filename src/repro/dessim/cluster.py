@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.config import NetSparseConfig
 from repro.dessim.components import SerialLink
 from repro.dessim.nic import DesHostNic
@@ -140,7 +141,11 @@ class DesCluster:
         events = []
         for node, idxs in idxs_per_node.items():
             events.extend(self.nics[node].execute_gather(idxs))
-        self.sim.run(max_events=max_events)
+        sim_t0 = self.sim.now
+        with telemetry.span("dessim.run_gather", nodes=self.n_nodes):
+            self.sim.run(max_events=max_events)
+        telemetry.add_span("dessim.gather", sim_t0, self.sim.now - sim_t0,
+                           clock="sim", nodes=self.n_nodes)
         still_running = [ev for ev in events if not ev.processed]
         if still_running:
             raise RuntimeError(
@@ -151,6 +156,16 @@ class DesCluster:
         up = np.array([ln.bytes_carried for ln in self.up_links], dtype=float)
         down = np.array([ln.bytes_carried for ln in self.down_links],
                         dtype=float)
+        telemetry.count("dessim.prs.issued",
+                        sum(nic.stats_issued for nic in self.nics))
+        telemetry.count("dessim.prs.dropped",
+                        sum(nic.stats_dropped for nic in self.nics))
+        telemetry.count("dessim.cache.turnarounds",
+                        sum(t.stats_turnaround for t in self.tors))
+        telemetry.count("dessim.fabric.packets",
+                        sum(ln.packets_carried for ln in self.fabric_links))
+        telemetry.count("dessim.fabric.bytes",
+                        sum(ln.bytes_carried for ln in self.fabric_links))
         return DesResult(
             finish_time=self.sim.now,
             received={

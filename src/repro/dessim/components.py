@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Union
+from typing import List, Optional, Union
 
 from repro.config import NetSparseConfig
 from repro.core.rig import ReadPR, ResponsePR
@@ -58,7 +58,7 @@ class SerialLink:
         name: str,
         sink: Store,
         config: NetSparseConfig,
-        bandwidth: float = None,
+        bandwidth: Optional[float] = None,
         latency: float = 450e-9,
         queue_packets: int = 64,
         drop_fn=None,

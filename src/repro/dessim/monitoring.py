@@ -8,6 +8,14 @@ Table 5 buffers).  This module provides:
 - :class:`LatencyProbe` — records per-PR issue/response timestamps via
   the RIG units' hooks and reports percentiles.
 - :class:`QueueMonitor` — samples Store occupancies on a fixed period.
+
+Both are adapters onto :mod:`repro.telemetry`: when a registry is
+active, every completed-PR latency feeds the ``dessim.pr.latency``
+histogram and every occupancy sample feeds
+``dessim.queue.occupancy{store=...}`` — so a ``netsparse profile`` run
+over the DES lands in the same metrics dump and Chrome trace as the
+trace-model stages.  With telemetry disabled they keep their original
+stand-alone behaviour at the cost of one ``None`` check per sample.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.sim import Simulator, Store
 
 __all__ = ["LatencyProbe", "LatencyStats", "QueueMonitor"]
@@ -70,7 +79,11 @@ class LatencyProbe:
         if start is None:
             self.unmatched_completions += 1
             return
-        self.samples.append(self.sim.now - start)
+        latency = self.sim.now - start
+        self.samples.append(latency)
+        reg = telemetry.active()
+        if reg is not None:
+            reg.observe("dessim.pr.latency", latency)
 
     @property
     def outstanding(self) -> int:
@@ -95,8 +108,13 @@ class QueueMonitor:
 
     def _run(self):
         while True:
+            reg = telemetry.active()
             for name, store in self.stores.items():
-                self.samples[name].append(len(store))
+                occupancy = len(store)
+                self.samples[name].append(occupancy)
+                if reg is not None:
+                    reg.observe("dessim.queue.occupancy", occupancy,
+                                store=name)
             yield self.sim.timeout(self.period)
 
     def occupancy_stats(self) -> Dict[str, Dict[str, float]]:

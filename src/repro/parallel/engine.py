@@ -21,6 +21,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro import telemetry
 from repro.config import NetSparseConfig
 from repro.parallel.cache import ResultCache
 from repro.parallel.jobs import SimJob, timed_execute
@@ -89,14 +90,17 @@ class ExecutionEngine:
         pending: Dict[str, SimJob] = {}
         for digest, job in zip(digests, jobs):
             self.stats.jobs += 1
+            telemetry.count("engine.jobs")
             if digest in self._memo or digest in pending:
                 self.stats.memo_hits += 1
+                telemetry.count("engine.memo_hits")
                 continue
             entry = self.cache.get(digest) if self.cache else None
             if entry is not None:
                 self._memo[digest] = entry.result
                 self.stats.cache_hits += 1
                 self.stats.saved_seconds += entry.elapsed
+                telemetry.count("engine.cache_hits")
             else:
                 pending[digest] = job
         if pending:
@@ -109,18 +113,29 @@ class ExecutionEngine:
     def _execute(self, pending: Dict[str, SimJob]) -> None:
         items = list(pending.items())
         if self.jobs > 1 and len(items) > 1:
+            # Worker processes carry their own (disabled) telemetry —
+            # `netsparse profile` therefore always runs serial.
             pool = self._ensure_pool()
             outcomes = pool.map(timed_execute, [job for _, job in items],
                                 chunksize=1)
         else:
-            outcomes = (timed_execute(job) for _, job in items)
+            outcomes = (self._timed_instrumented(job) for _, job in items)
         for (digest, job), (result, elapsed) in zip(items, outcomes):
             self._memo[digest] = result
             self.stats.executed += 1
             self.stats.sim_seconds += elapsed
+            telemetry.count("engine.executed")
+            telemetry.observe("engine.job.seconds", elapsed,
+                              scheme=job.scheme)
             if self.cache is not None:
                 self.cache.put(digest, result, meta=job.describe(),
                                elapsed=elapsed)
+
+    @staticmethod
+    def _timed_instrumented(job: SimJob):
+        with telemetry.span("engine.job", scheme=job.scheme,
+                            matrix=job.matrix, k=job.k):
+            return timed_execute(job)
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:

@@ -128,6 +128,7 @@ def execute_job(job: SimJob):
     pool's task function; each worker regenerates and memoizes the
     benchmark matrices it needs via ``load_benchmark``'s ``lru_cache``.
     """
+    from repro import telemetry
     from repro.baselines.hybrid import simulate_hybrid
     from repro.baselines.saopt import simulate_saopt
     from repro.baselines.su import simulate_suopt
@@ -138,16 +139,20 @@ def execute_job(job: SimJob):
     mat = load_benchmark(job.matrix, job.scale_name, seed=job.seed)
     sc = job.scale if job.scale is not None else scale_factor(job.matrix, mat)
     cfg = job.config
-    if job.scheme == "suopt":
-        return simulate_suopt(mat, job.k, cfg)
-    if job.scheme == "saopt":
-        return simulate_saopt(mat, job.k, cfg, scale=sc)
-    if job.scheme == "hybrid":
-        return simulate_hybrid(mat, job.k, cfg, scale=sc)
-    part = balanced_by_nnz(mat, cfg.n_nodes) if job.partition == "nnz" else None
-    return simulate_netsparse(mat, job.k, cfg, _build_topology(job),
-                              rig_batch=job.rig_batch, scale=sc,
-                              partition=part)
+    with telemetry.span(f"sim.{job.scheme}", matrix=job.matrix, k=job.k):
+        if job.scheme == "suopt":
+            return simulate_suopt(mat, job.k, cfg)
+        if job.scheme == "saopt":
+            return simulate_saopt(mat, job.k, cfg, scale=sc)
+        if job.scheme == "hybrid":
+            return simulate_hybrid(mat, job.k, cfg, scale=sc)
+        part = (
+            balanced_by_nnz(mat, cfg.n_nodes) if job.partition == "nnz"
+            else None
+        )
+        return simulate_netsparse(mat, job.k, cfg, _build_topology(job),
+                                  rig_batch=job.rig_batch, scale=sc,
+                                  partition=part)
 
 
 def timed_execute(job: SimJob):

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -66,7 +66,7 @@ class CommResult:
             return 0.0
         return self.cache_hits / self.cache_lookups
 
-    def goodput(self, node: int = None) -> float:
+    def goodput(self, node: Optional[int] = None) -> float:
         """Useful payload rate / line rate at a node (default: tail)."""
         node = self.tail_node if node is None else node
         if self.total_time == 0:
@@ -77,7 +77,7 @@ class CommResult:
             / self.link_bandwidth
         )
 
-    def line_utilization(self, node: int = None) -> float:
+    def line_utilization(self, node: Optional[int] = None) -> float:
         """Wire byte rate / line rate at a node's receive port."""
         node = self.tail_node if node is None else node
         if self.total_time == 0:

@@ -1,0 +1,202 @@
+"""Telemetry exporters: JSON metrics dumps, CSV, Chrome trace_event.
+
+Three formats cover the three consumers:
+
+- :func:`write_metrics_json` — the machine-readable dump a perf
+  trajectory or CI artifact wants (counters/gauges/histogram summaries
+  plus per-name span totals).
+- :func:`write_metrics_csv` — one flat ``metric,kind,field,value``
+  table for spreadsheet triage.
+- :func:`write_chrome_trace` — Chrome ``trace_event`` JSON loadable in
+  Perfetto / ``chrome://tracing``.  Wall-clock spans and simulated-time
+  spans are emitted as two separate trace processes so the two
+  timelines never interleave (one simulated second renders as one
+  trace second).
+
+:func:`load_chrome_trace` reads a trace file back into
+:class:`~repro.telemetry.registry.SpanRecord`-shaped dicts for the
+round-trip tests.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = [
+    "chrome_trace_dict",
+    "load_chrome_trace",
+    "metrics_csv_lines",
+    "metrics_dict",
+    "write_chrome_trace",
+    "write_metrics_csv",
+    "write_metrics_json",
+]
+
+SCHEMA = "repro.telemetry/v1"
+
+#: Trace-process ids: wall-clock spans vs simulated-time spans.
+WALL_PID = 1
+SIM_PID = 2
+_PID_OF = {"wall": WALL_PID, "sim": SIM_PID}
+
+
+# -- JSON metrics dump -------------------------------------------------
+
+
+def metrics_dict(registry: MetricsRegistry,
+                 meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """The full JSON-dump payload for one registry."""
+    out: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "created_at": registry.created_at,
+        "exported_at": time.time(),
+        "meta": dict(meta or {}),
+    }
+    out.update(registry.snapshot())
+    return out
+
+
+def write_metrics_json(registry: MetricsRegistry, path: str,
+                       meta: Optional[Dict[str, Any]] = None) -> str:
+    with open(path, "w") as fh:
+        json.dump(metrics_dict(registry, meta), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+# -- CSV ---------------------------------------------------------------
+
+
+def metrics_csv_lines(registry: MetricsRegistry) -> List[str]:
+    """``metric,kind,field,value`` rows for every metric."""
+    lines = ["metric,kind,field,value"]
+
+    def q(name: str) -> str:
+        return f'"{name}"' if "," in name else name
+
+    snap = registry.snapshot()
+    for name, value in snap["counters"].items():
+        lines.append(f"{q(name)},counter,value,{value}")
+    for name, value in snap["gauges"].items():
+        lines.append(f"{q(name)},gauge,value,{value!r}")
+    for name, summary in snap["histograms"].items():
+        for field in sorted(summary):
+            lines.append(f"{q(name)},histogram,{field},{summary[field]!r}")
+    for clock in ("wall", "sim"):
+        for name, agg in snap["spans"][clock].items():
+            lines.append(f"{q(name)},span.{clock},count,{agg['count']}")
+            lines.append(f"{q(name)},span.{clock},total_s,{agg['total_s']!r}")
+    return lines
+
+
+def write_metrics_csv(registry: MetricsRegistry, path: str) -> str:
+    with open(path, "w") as fh:
+        fh.write("\n".join(metrics_csv_lines(registry)) + "\n")
+    return path
+
+
+# -- Chrome trace_event ------------------------------------------------
+
+
+def chrome_trace_dict(registry: MetricsRegistry) -> Dict[str, Any]:
+    """Chrome ``trace_event`` JSON-object format for the registry.
+
+    Spans become complete ('X') events, probes instant ('i') events;
+    timestamps are microseconds.  Tracks (span ``track``, default the
+    span name's first two segments) map to trace thread ids.
+    """
+    events: List[Dict[str, Any]] = [
+        {"ph": "M", "pid": WALL_PID, "tid": 0, "name": "process_name",
+         "args": {"name": "wall-clock"}},
+        {"ph": "M", "pid": SIM_PID, "tid": 0, "name": "process_name",
+         "args": {"name": "simulated-time"}},
+    ]
+    tids: Dict[tuple, int] = {}
+
+    def tid_for(pid: int, track: str) -> int:
+        key = (pid, track)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = len([k for k in tids if k[0] == pid]) + 1
+            events.append({
+                "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                "args": {"name": track},
+            })
+        return tid
+
+    def default_track(name: str) -> str:
+        return ".".join(name.split(".")[:2])
+
+    for s in registry.spans:
+        pid = _PID_OF[s.clock]
+        events.append({
+            "name": s.name,
+            "cat": s.clock,
+            "ph": "X",
+            "ts": round(s.start * 1e6, 3),
+            "dur": round(max(s.duration * 1e6, 1e-3), 3),
+            "pid": pid,
+            "tid": tid_for(pid, s.track or default_track(s.name)),
+            "args": dict(s.args),
+        })
+    for p in registry.probes:
+        pid = _PID_OF[p.clock]
+        args = dict(p.args)
+        if p.value is not None:
+            args["value"] = p.value
+        events.append({
+            "name": p.name,
+            "cat": p.clock,
+            "ph": "i",
+            "s": "t",
+            "ts": round(p.at * 1e6, 3),
+            "pid": pid,
+            "tid": tid_for(pid, p.args.get("track", default_track(p.name))),
+            "args": args,
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": SCHEMA, "created_at": registry.created_at},
+    }
+
+
+def write_chrome_trace(registry: MetricsRegistry, path: str) -> str:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace_dict(registry), fh)
+        fh.write("\n")
+    return path
+
+
+def load_chrome_trace(path: str) -> List[Dict[str, Any]]:
+    """Span/probe events of a trace file, back in registry units.
+
+    Returns dicts with ``name``, ``clock``, ``start``/``at`` and
+    ``duration`` in seconds, plus ``args`` — the inverse of
+    :func:`chrome_trace_dict` up to timestamp rounding (0.001 us).
+    """
+    with open(path) as fh:
+        data = json.load(fh)
+    pid_clock = {WALL_PID: "wall", SIM_PID: "sim"}
+    out = []
+    for ev in data["traceEvents"]:
+        if ev.get("ph") == "X":
+            out.append({
+                "name": ev["name"],
+                "clock": pid_clock.get(ev["pid"], "wall"),
+                "start": ev["ts"] / 1e6,
+                "duration": ev["dur"] / 1e6,
+                "args": ev.get("args", {}),
+            })
+        elif ev.get("ph") == "i":
+            out.append({
+                "name": ev["name"],
+                "clock": pid_clock.get(ev["pid"], "wall"),
+                "at": ev["ts"] / 1e6,
+                "args": ev.get("args", {}),
+            })
+    return out

@@ -1,0 +1,421 @@
+"""Process-wide metrics registry: counters, gauges, histograms, spans.
+
+Telemetry is **disabled by default** and the instrumentation sites
+scattered through the simulators are written so the disabled path costs
+one module-global ``None`` check (no allocation, no branching inside
+hot loops beyond the guard).  Enabling telemetry installs a
+:class:`MetricsRegistry` as the process-wide active registry; every
+instrumented component then records into it:
+
+- **Counters** — monotonically increasing integers under stable dotted
+  names (``cluster.filter.drops``, ``pcache.hits``).  Optional labels
+  additionally increment a labelled sibling (``pcache.hits{matrix=arabic}``)
+  so per-matrix attribution never changes the base name.
+- **Gauges** — last-write-wins scalars (``engine.pool.workers``).
+- **Histograms** — sample collections with percentile summaries
+  (``concat.prs_per_packet``, ``dessim.pr.latency``).
+- **Spans** — named intervals on either the *wall* clock (stage timings
+  in the trace model, engine jobs) or the *sim* clock (simulated-time
+  intervals in the DES), exportable as Chrome ``trace_event`` files
+  (:mod:`repro.telemetry.export`).
+- **Probes** — instant point events carrying a value.
+
+Nothing in this module imports numpy or any simulator code: importing
+telemetry must stay cheap because every instrumented module imports it.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProbeRecord",
+    "SpanRecord",
+    "active",
+    "add_span",
+    "count",
+    "disable",
+    "enable",
+    "enabled",
+    "observe",
+    "probe",
+    "set_gauge",
+    "span",
+    "telemetry_scope",
+]
+
+#: Stable dotted metric names: ``segment(.segment)*`` of word characters.
+_NAME_RE = re.compile(r"^[A-Za-z0-9_-]+(\.[A-Za-z0-9_-]+)*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"invalid metric name {name!r}; expected dotted segments of "
+            "[A-Za-z0-9_-]"
+        )
+    return name
+
+
+def _labelled(name: str, labels: Dict[str, Any]) -> str:
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only increase")
+        self.value += int(n)
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins scalar metric."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A sample collection with percentile summaries."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def sum(self) -> float:
+        return math.fsum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile, ``q`` in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile q must be in [0, 100]")
+        s = sorted(self.samples)
+        pos = (len(s) - 1) * q / 100.0
+        lo = int(pos)
+        hi = min(lo + 1, len(s) - 1)
+        return s[lo] + (s[hi] - s[lo]) * (pos - lo)
+
+    def summary(self) -> Dict[str, float]:
+        if not self.samples:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": min(self.samples),
+            "max": max(self.samples),
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+@dataclass
+class SpanRecord:
+    """One named interval on the wall or the simulated clock.
+
+    ``start`` and ``duration`` are in seconds of the span's clock
+    (wall-clock starts are relative to the registry's epoch).
+    """
+
+    name: str
+    start: float
+    duration: float
+    clock: str = "wall"               # "wall" | "sim"
+    track: str = ""                   # groups spans onto one trace row
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ProbeRecord:
+    """One instant point event (Chrome-trace 'i' phase)."""
+
+    name: str
+    at: float
+    clock: str = "wall"
+    value: Optional[float] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+class _SpanContext:
+    """Context manager recording one wall-clock span on exit."""
+
+    __slots__ = ("_registry", "_name", "_track", "_args", "_t0")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, track: str,
+                 args: Dict[str, Any]):
+        self._registry = registry
+        self._name = name
+        self._track = track
+        self._args = args
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_SpanContext":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        t1 = time.perf_counter()
+        self._registry.add_span(
+            self._name,
+            start=self._t0 - self._registry.epoch,
+            duration=t1 - self._t0,
+            clock="wall",
+            track=self._track,
+            **self._args,
+        )
+        return False
+
+
+class _NullSpan:
+    """The shared no-op context manager of the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class MetricsRegistry:
+    """All metrics of one profiled run.
+
+    Metric accessors are get-or-create: the first ``counter("a.b")``
+    defines the counter, later calls return the same object.
+    """
+
+    def __init__(self):
+        self.epoch = time.perf_counter()
+        self.created_at = time.time()
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.spans: List[SpanRecord] = []
+        self.probes: List[ProbeRecord] = []
+
+    # -- metric accessors ----------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = _labelled(_check_name(name), labels) if labels else _check_name(name)
+        c = self.counters.get(key)
+        if c is None:
+            c = self.counters[key] = Counter(key)
+        return c
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = _labelled(_check_name(name), labels) if labels else _check_name(name)
+        g = self.gauges.get(key)
+        if g is None:
+            g = self.gauges[key] = Gauge(key)
+        return g
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        key = _labelled(_check_name(name), labels) if labels else _check_name(name)
+        h = self.histograms.get(key)
+        if h is None:
+            h = self.histograms[key] = Histogram(key)
+        return h
+
+    # -- recording shorthands ------------------------------------------
+
+    def count(self, name: str, n: int = 1, **labels) -> None:
+        """Increment ``name`` (and its labelled sibling, if labelled)."""
+        self.counter(name).inc(n)
+        if labels:
+            self.counter(name, **labels).inc(n)
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        self.gauge(name).set(value)
+        if labels:
+            self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        self.histogram(name).observe(value)
+        if labels:
+            self.histogram(name, **labels).observe(value)
+
+    def span(self, name: str, *, track: str = "", **args) -> _SpanContext:
+        """Wall-clock span context manager."""
+        return _SpanContext(self, _check_name(name), track, args)
+
+    def add_span(self, name: str, start: float, duration: float,
+                 clock: str = "wall", track: str = "", **args) -> SpanRecord:
+        """Record an explicit span — the sim-clock entry point."""
+        if clock not in ("wall", "sim"):
+            raise ValueError(f"unknown span clock {clock!r}")
+        rec = SpanRecord(_check_name(name), float(start),
+                         max(float(duration), 0.0), clock, track, args)
+        self.spans.append(rec)
+        return rec
+
+    def probe(self, name: str, value: Optional[float] = None,
+              clock: str = "wall", at: Optional[float] = None,
+              **args) -> ProbeRecord:
+        """Record an instant event; numeric values also feed the
+        same-named histogram."""
+        if at is None:
+            at = time.perf_counter() - self.epoch if clock == "wall" else 0.0
+        rec = ProbeRecord(_check_name(name), float(at), clock,
+                          None if value is None else float(value), args)
+        self.probes.append(rec)
+        if value is not None:
+            self.observe(name, value)
+        return rec
+
+    # -- aggregation ---------------------------------------------------
+
+    def span_totals(
+        self, clock: Optional[str] = None
+    ) -> Dict[str, Tuple[int, float]]:
+        """``name -> (count, total_duration)`` over recorded spans."""
+        out: Dict[str, Tuple[int, float]] = {}
+        for s in self.spans:
+            if clock is not None and s.clock != clock:
+                continue
+            n, tot = out.get(s.name, (0, 0.0))
+            out[s.name] = (n + 1, tot + s.duration)
+        return out
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict view of every metric (the JSON dump's core)."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+            "histograms": {
+                k: h.summary() for k, h in sorted(self.histograms.items())
+            },
+            "spans": {
+                clock: {
+                    name: {"count": n, "total_s": tot}
+                    for name, (n, tot) in sorted(
+                        self.span_totals(clock).items()
+                    )
+                }
+                for clock in ("wall", "sim")
+            },
+        }
+
+
+# -- the process-wide active registry ----------------------------------
+
+_active: Optional[MetricsRegistry] = None
+
+
+def active() -> Optional[MetricsRegistry]:
+    """The installed registry, or ``None`` when telemetry is disabled."""
+    return _active
+
+
+def enabled() -> bool:
+    return _active is not None
+
+
+def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Install ``registry`` (or a fresh one) as the active registry."""
+    global _active
+    _active = registry if registry is not None else MetricsRegistry()
+    return _active
+
+
+def disable() -> Optional[MetricsRegistry]:
+    """Deactivate telemetry, returning the registry that was active."""
+    global _active
+    previous = _active
+    _active = None
+    return previous
+
+
+@contextmanager
+def telemetry_scope(registry: Optional[MetricsRegistry] = None):
+    """Temporarily enable telemetry, restoring the previous state."""
+    global _active
+    previous = _active
+    reg = enable(registry)
+    try:
+        yield reg
+    finally:
+        _active = previous
+
+
+# -- zero-overhead module-level recording API --------------------------
+#
+# Instrumentation sites call these; each is one global read + None
+# check when telemetry is disabled.
+
+
+def count(name: str, n: int = 1, **labels) -> None:
+    reg = _active
+    if reg is not None:
+        reg.count(name, n, **labels)
+
+
+def set_gauge(name: str, value: float, **labels) -> None:
+    reg = _active
+    if reg is not None:
+        reg.set_gauge(name, value, **labels)
+
+
+def observe(name: str, value: float, **labels) -> None:
+    reg = _active
+    if reg is not None:
+        reg.observe(name, value, **labels)
+
+
+def span(name: str, *, track: str = "", **args):
+    reg = _active
+    if reg is None:
+        return _NULL_SPAN
+    return reg.span(name, track=track, **args)
+
+
+def add_span(name: str, start: float, duration: float,
+             clock: str = "sim", track: str = "", **args) -> None:
+    reg = _active
+    if reg is not None:
+        reg.add_span(name, start, duration, clock, track, **args)
+
+
+def probe(name: str, value: Optional[float] = None, clock: str = "wall",
+          at: Optional[float] = None, **args) -> None:
+    reg = _active
+    if reg is not None:
+        reg.probe(name, value, clock, at, **args)

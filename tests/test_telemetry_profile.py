@@ -1,0 +1,135 @@
+"""`netsparse profile` / `netsparse version`: CLI regression coverage.
+
+The profile regression pins the ISSUE's acceptance scenario: profiling
+table7 at tiny scale must light up the filter/coalesce/cache counters
+(including the arabic-labelled siblings) and write all three artifact
+files.
+"""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.cli import main
+from repro.telemetry import load_chrome_trace
+from repro.telemetry.profile import profile_experiment
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+@pytest.fixture(scope="module")
+def table7_profile(tmp_path_factory):
+    """One shared tiny table7 profile run (the expensive part)."""
+    out = tmp_path_factory.mktemp("prof")
+    telemetry.disable()
+    prof = profile_experiment("table7", scale="tiny", out_dir=str(out))
+    telemetry.disable()
+    return prof
+
+
+class TestProfileRegression:
+    def test_pipeline_counters_nonzero(self, table7_profile):
+        counters = {k: c.value
+                    for k, c in table7_profile.registry.counters.items()}
+        for name in ("cluster.filter.candidates", "cluster.filter.drops",
+                     "cluster.filter.coalesced", "cluster.filter.issued",
+                     "pcache.lookups", "pcache.hits", "concat.packets",
+                     "engine.jobs", "engine.executed"):
+            assert counters.get(name, 0) > 0, f"dead counter: {name}"
+        # drops < candidates, hits <= lookups: basic sanity of the stages.
+        assert counters["cluster.filter.drops"] < \
+            counters["cluster.filter.candidates"]
+        assert counters["pcache.hits"] <= counters["pcache.lookups"]
+
+    def test_arabic_labelled_counters_nonzero(self, table7_profile):
+        counters = {k: c.value
+                    for k, c in table7_profile.registry.counters.items()}
+        for name in ("cluster.filter.drops{matrix=arabic}",
+                     "cluster.filter.coalesced{matrix=arabic}",
+                     "pcache.hits{matrix=arabic}"):
+            assert counters.get(name, 0) > 0, f"dead counter: {name}"
+
+    def test_stage_spans_recorded(self, table7_profile):
+        wall = table7_profile.registry.span_totals("wall")
+        for name in ("cluster.stage.filter", "cluster.stage.cache",
+                     "cluster.stage.respond", "cluster.stage.timing",
+                     "engine.job", "profile.table7"):
+            assert name in wall, f"missing span: {name}"
+            assert wall[name][1] >= 0
+
+    def test_artifacts_written_and_loadable(self, table7_profile):
+        prof = table7_profile
+        data = json.load(open(prof.json_path))
+        assert data["schema"] == "repro.telemetry/v1"
+        assert data["meta"]["experiment"] == "table7"
+        assert data["counters"]["cluster.filter.issued"] > 0
+
+        events = load_chrome_trace(prof.trace_path)
+        span_names = {e["name"] for e in events if "duration" in e}
+        assert "cluster.stage.filter" in span_names
+
+        header, *rows = open(prof.csv_path).read().splitlines()
+        assert header == "metric,kind,field,value"
+        assert len(rows) > 10
+
+    def test_table_matches_untelemetered_run(self, table7_profile):
+        """Telemetry must observe, never perturb: the profiled table
+        equals the plain run's table."""
+        from repro.experiments import run_experiment
+
+        assert telemetry.active() is None
+        plain = run_experiment("table7", scale="tiny")
+        assert table7_profile.table.columns == plain.columns
+        assert table7_profile.table.rows == plain.rows
+
+    def test_unknown_experiment_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            profile_experiment("nonesuch", scale="tiny",
+                               out_dir=str(tmp_path))
+
+
+class TestProfileCli:
+    def test_profile_smoke_exits_zero(self, tmp_path, capsys):
+        rc = main(["profile", "--smoke", "-o", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[smoke] telemetry instrumentation live" in out
+        assert (tmp_path / "profile_table7_tiny.json").exists()
+        assert (tmp_path / "profile_table7_tiny.trace.json").exists()
+        assert (tmp_path / "profile_table7_tiny.csv").exists()
+
+    def test_profile_unknown_experiment_fails(self, tmp_path, capsys):
+        rc = main(["profile", "nonesuch", "--scale", "tiny",
+                   "-o", str(tmp_path)])
+        assert rc == 1
+
+    def test_profile_leaves_telemetry_disabled(self, tmp_path):
+        main(["profile", "--smoke", "-o", str(tmp_path)])
+        assert telemetry.active() is None
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert f"netsparse {repro.__version__}" in capsys.readouterr().out
+
+    def test_version_subcommand(self, capsys):
+        import repro
+
+        assert main(["version"]) == 0
+        assert f"netsparse {repro.__version__}" in capsys.readouterr().out
+
+    def test_version_is_nonempty_string(self):
+        import repro
+
+        assert isinstance(repro.__version__, str) and repro.__version__
