@@ -8,6 +8,8 @@ Usage::
     netsparse report [--scale small] [-o report.md] [--jobs 4]
     netsparse profile fig12 [--scale tiny] [-o DIR]
     netsparse profile --smoke
+    netsparse resilience [--scale small] [-o DIR]
+    netsparse resilience --smoke
     netsparse cache info
     netsparse cache clear
     netsparse version        (also: netsparse --version)
@@ -25,6 +27,12 @@ and parallel runs are bit-identical to serial ones.
 code path actually executes — and writes a JSON metrics dump, a CSV,
 and a Chrome ``trace_event`` file (open in Perfetto), then prints the
 per-stage breakdown.
+
+``resilience`` sweeps the canonical fault scenario
+(:mod:`repro.faults`) over the schemes and writes a markdown
+degradation report plus a telemetry JSON; ``--smoke`` additionally
+asserts the NetSparse speedup column decreases strictly with fault
+intensity and that the ``faults.*`` counters are live.
 """
 
 from __future__ import annotations
@@ -125,6 +133,24 @@ def _build_parser() -> argparse.ArgumentParser:
              "filter/coalesce/cache counters are live and the artifacts "
              "were written",
     )
+    res = sub.add_parser(
+        "resilience",
+        help="sweep fault intensity across the schemes and write a "
+             "degradation report (speedup vs fault intensity)",
+    )
+    res.add_argument("--scale", default="small",
+                     choices=["tiny", "small", "medium"])
+    res.add_argument(
+        "-o", "--out-dir", default=".", metavar="DIR",
+        help="directory for resilience_<scale>.md and the telemetry "
+             "JSON (default: current directory)",
+    )
+    res.add_argument(
+        "--smoke", action="store_true",
+        help="CI self-check: force tiny scale and fail unless the "
+             "NetSparse speedup decreases strictly with intensity and "
+             "the faults.* counters are live",
+    )
     cache = sub.add_parser(
         "cache", help="inspect or clear the simulation result cache"
     )
@@ -195,6 +221,56 @@ def _profile_main(args) -> int:
     return 0
 
 
+def _resilience_main(args) -> int:
+    from repro.experiments.resilience import degradation_report, run_resilience
+    from repro.parallel import ExecutionEngine, engine_scope
+    from repro.telemetry import (
+        MetricsRegistry,
+        telemetry_scope,
+        write_metrics_json,
+    )
+
+    scale = "tiny" if args.smoke else args.scale
+    reg = MetricsRegistry()
+    # Serial + uncached, like `profile`: every fault-injection code
+    # path must actually execute for the counters to mean anything.
+    with engine_scope(ExecutionEngine(jobs=1, cache=None)):
+        with telemetry_scope(reg):
+            table = run_resilience(scale=scale)
+    print(table.format())
+    print()
+    os.makedirs(args.out_dir, exist_ok=True)
+    md_path = os.path.join(args.out_dir, f"resilience_{scale}.md")
+    with open(md_path, "w") as fh:
+        fh.write(degradation_report(table))
+    json_path = write_metrics_json(
+        reg, os.path.join(args.out_dir, f"resilience_{scale}.metrics.json"),
+        meta={"experiment": "resilience", "scale": scale},
+    )
+    print(f"wrote {md_path}")
+    print(f"wrote {json_path}")
+    if args.smoke:
+        failures = []
+        speedups = table.column("NS/SUOpt x")
+        if not all(a > b for a, b in zip(speedups, speedups[1:])):
+            failures.append(
+                f"NetSparse speedup not strictly decreasing: {speedups}"
+            )
+        counters = {k: c.value for k, c in reg.counters.items()}
+        live = sorted(
+            k for k, v in counters.items()
+            if k.split("{")[0].startswith("faults.") and v > 0
+        )
+        if not live:
+            failures.append("no live faults.* counters")
+        if failures:
+            for f in failures:
+                print(f"[smoke] FAIL: {f}", file=sys.stderr)
+            return 1
+        print(f"[smoke] degradation monotone; live counters: {live}")
+    return 0
+
+
 def _main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -208,6 +284,9 @@ def _main(argv=None) -> int:
 
     if args.command == "profile":
         return _profile_main(args)
+
+    if args.command == "resilience":
+        return _resilience_main(args)
 
     if args.command == "cache":
         return _cache_main(args)

@@ -475,5 +475,15 @@ def simulate_netsparse(
             "rig_batch": rig_batch,
             "window_nic": w_nic,
             "window_switch": w_sw,
+            # Per-node stage breakdown — consumed by repro.faults to
+            # attribute analytic penalties to the stages a fault hits.
+            "stage_times": {
+                "pr_gen": pr_gen_time,
+                "up": t_up,
+                "down": t_down,
+                "pcie": t_pcie,
+                "server": t_server,
+                "concat": t_concat,
+            },
         },
     )

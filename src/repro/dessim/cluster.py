@@ -65,6 +65,7 @@ class DesCluster:
         cache_bytes: Optional[int] = None,
         concat_delay: Optional[float] = None,
         probe_latency: bool = False,
+        fault_injector=None,
     ):
         self.sim = Simulator()
         self.config = config or NetSparseConfig(
@@ -135,6 +136,12 @@ class DesCluster:
                 spine.tor_links[tor.rack] = s2t
                 self.fabric_links.extend([t2s, s2t])
 
+        # Fault injection last: the injector reshapes the healthy cluster
+        # (kills RIG units, arms link degradation/flush processes).
+        self.fault_injector = fault_injector
+        if fault_injector is not None:
+            fault_injector.install(self)
+
     def run_gather(self, idxs_per_node: Dict[int, List[int]],
                    max_events: int = 5_000_000) -> DesResult:
         """Run every node's gather to completion and collect statistics."""
@@ -191,6 +198,11 @@ class DesCluster:
                 "latency": (
                     self.latency_probe.stats()
                     if self.latency_probe is not None
+                    else None
+                ),
+                "faults": (
+                    self.fault_injector.summary()
+                    if self.fault_injector is not None
                     else None
                 ),
             },

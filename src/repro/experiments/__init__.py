@@ -26,6 +26,7 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     headline,
     motivation,
     other,
+    resilience,
     sensitivity,
 )
 

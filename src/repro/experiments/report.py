@@ -26,7 +26,7 @@ _ORDER = [
     "fig20", "table9", "switch_overheads",
     "fig21", "fig22",
     "sharing", "des_validation", "concat_virtualization", "autotune",
-    "spgemm_preview", "iterative",
+    "spgemm_preview", "iterative", "resilience",
 ]
 
 

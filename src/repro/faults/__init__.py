@@ -1,0 +1,62 @@
+"""Deterministic fault injection and resilience (`repro.faults`).
+
+The paper's §7 handles hardware failures with a RIG watchdog; this
+subsystem generalizes that into a first-class fault model:
+
+- :mod:`repro.faults.plan` — declarative, seeded
+  :class:`~repro.faults.plan.FaultPlan` scenarios (link loss and
+  degradation windows, ToR failures, dead RIG units, property-cache
+  flushes, stragglers) with stable content digests.
+- :mod:`repro.faults.policies` — retry backoff (fixed / exponential
+  with seeded jitter) and graceful-degradation modes.
+- :mod:`repro.faults.analytic` — compiles a plan into per-node
+  penalties over trace-model results
+  (:func:`~repro.faults.analytic.apply_faults`).
+- :mod:`repro.faults.injector` — compiles the same plan into DES
+  event-time injections
+  (:class:`~repro.faults.injector.FaultInjector`).
+
+The ``resilience`` experiment (``netsparse resilience``) sweeps
+:meth:`FaultPlan.scaled` intensities and reports how each scheme's
+speedup degrades.
+"""
+
+from repro.faults.analytic import apply_faults, fault_events
+from repro.faults.injector import FaultEvent, FaultInjector
+from repro.faults.plan import (
+    CacheFault,
+    FaultPlan,
+    LinkFault,
+    NicFault,
+    StragglerFault,
+    SwitchFault,
+    hash_uniform,
+    select_nodes,
+)
+from repro.faults.policies import (
+    BackoffPolicy,
+    DegradePolicy,
+    ExponentialBackoff,
+    FixedBackoff,
+    backoff_from_spec,
+)
+
+__all__ = [
+    "BackoffPolicy",
+    "CacheFault",
+    "DegradePolicy",
+    "ExponentialBackoff",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FixedBackoff",
+    "LinkFault",
+    "NicFault",
+    "StragglerFault",
+    "SwitchFault",
+    "apply_faults",
+    "backoff_from_spec",
+    "fault_events",
+    "hash_uniform",
+    "select_nodes",
+]

@@ -1,0 +1,208 @@
+"""Analytic fault penalties for the trace-level cluster model.
+
+The vectorized cluster model (:mod:`repro.cluster.model`) and the
+baselines are throughput idealizations — they have no event timeline to
+inject into.  This module compiles a :class:`~repro.faults.plan.FaultPlan`
+into per-node *time multipliers* over a finished
+:class:`~repro.results.CommResult` instead, mirroring what the DES
+injector does at event granularity:
+
+- **Link faults** — a window losing fraction ``p`` of packets costs
+  ``1/(1-p)`` transmissions (retry until delivered), a window at
+  bandwidth fraction ``d`` costs ``1/d``; outside the window the link
+  is healthy, so the factor is the window-weighted mix.
+- **ToR failure** — with re-routing enabled the rack's traffic detours
+  (a fixed detour factor during the window); without it the rack
+  simply waits the outage out.  Either way the rack loses its property
+  cache for the window (NetSparse-only penalty).
+- **NIC RIG-unit failure** — PR generation slows by ``1/(1-dead)``;
+  re-issuing the lost in-flight work through the watchdog adds a small
+  surcharge (a large one when re-issue is disabled).
+- **Cache flush/corruption** — the flushed fraction of hits turns into
+  owner round-trips (cheap with bypass, expensive without).
+- **Stragglers** — the node (or the whole cluster) runs ``slowdown``
+  times slower.
+
+Scheme-agnostic penalties (links, routing, stragglers) hit every
+scheme; RIG/property-cache penalties only exist for schemes that *use*
+those mechanisms (``netsparse``, ``hybrid``) — which is exactly why
+NetSparse's speedup over the software baselines degrades as fault
+intensity rises.
+
+The makespan scales by the **worst combined per-node factor** (the
+most-affected component bounds a bulk-synchronous iteration), which
+also makes intensity sweeps monotone by construction.  The empty plan
+returns the input result object unchanged — bit-identical to a
+fault-free run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional
+
+import numpy as np
+
+from repro import telemetry
+from repro.config import NetSparseConfig
+from repro.faults.plan import FaultPlan, select_nodes
+from repro.faults.policies import DegradePolicy
+
+__all__ = ["apply_faults", "fault_events", "DETOUR_FACTOR"]
+
+#: Extra path cost of re-routing a rack's traffic around its dead ToR.
+DETOUR_FACTOR = 2.0
+
+#: Schemes that use RIG units and the in-switch property cache.
+_NETSPARSE_SCHEMES = ("netsparse", "hybrid")
+
+
+def fault_events(plan: FaultPlan) -> List[dict]:
+    """The plan's deterministic fault event log (sorted by time).
+
+    Every entry is a plain dict ``{"t", "kind", "target", ...}`` with
+    ``t`` in run fractions — the analytic counterpart of the DES
+    injector's event log.
+    """
+    events: List[dict] = []
+    for lf in plan.links:
+        events.append({
+            "t": round(lf.start, 9), "kind": "link.fault", "target": lf.scope,
+            "until": round(lf.end, 9), "drop_rate": lf.drop_rate,
+            "corrupt_rate": lf.corrupt_rate, "degrade": lf.degrade,
+        })
+    for sf in plan.switches:
+        events.append({
+            "t": round(sf.start, 9), "kind": "switch.fail",
+            "target": f"rack:{sf.rack}", "until": round(sf.end, 9),
+        })
+    for nf in plan.nics:
+        target = "all" if nf.node < 0 else f"node:{nf.node}"
+        events.append({
+            "t": 0.0, "kind": "nic.rig_units_fail", "target": target,
+            "dead_frac": nf.dead_frac,
+        })
+    for cf in plan.caches:
+        target = "all" if cf.rack < 0 else f"rack:{cf.rack}"
+        kind = "cache.corrupt" if cf.corrupt else "cache.flush"
+        events.append({
+            "t": round(cf.at, 9), "kind": kind, "target": target,
+            "flush_frac": cf.flush_frac,
+        })
+    for st in plan.stragglers:
+        target = "all" if st.node < 0 else f"node:{st.node}"
+        events.append({
+            "t": 0.0, "kind": "node.straggle", "target": target,
+            "slowdown": st.slowdown,
+        })
+    events.sort(key=lambda e: (e["t"], e["kind"], e["target"]))
+    return events
+
+
+def _nodes(scope_nodes, n: int) -> np.ndarray:
+    mask = np.zeros(n, dtype=bool)
+    for node in scope_nodes:
+        mask[node] = True
+    return mask
+
+
+def apply_faults(
+    result,
+    plan: FaultPlan,
+    config: Optional[NetSparseConfig] = None,
+    policy: DegradePolicy = DegradePolicy(),
+):
+    """Degrade ``result`` (a :class:`~repro.results.CommResult`) per
+    ``plan``; returns a new result, or ``result`` itself when the plan
+    is empty."""
+    if plan.is_empty():
+        return result
+    config = config or NetSparseConfig()
+    n = int(result.n_nodes)
+    nodes_per_rack = min(config.nodes_per_rack, n)
+    uses_netsparse = result.scheme in _NETSPARSE_SCHEMES
+    hit_rate = result.cache_hit_rate if uses_netsparse else 0.0
+
+    shared = np.ones(n)      # scheme-agnostic per-node factor
+    extra = np.ones(n)       # NetSparse-mechanism per-node factor
+    stall = np.zeros(n)      # additive outage fractions (no reroute)
+
+    # -- link faults ----------------------------------------------------
+    for lf in plan.links:
+        mask = _nodes(select_nodes(lf.scope, n, nodes_per_rack), n)
+        wf = lf.window
+        in_window = (1.0 / (1.0 - lf.loss_rate)) / max(lf.degrade, 0.05)
+        shared[mask] *= (1.0 - wf) + wf * in_window
+        telemetry.count("faults.link.faults")
+
+    # -- ToR failures ---------------------------------------------------
+    for sf in plan.switches:
+        mask = _nodes(select_nodes(f"rack:{sf.rack}", n, nodes_per_rack), n)
+        if not mask.any():
+            continue
+        wf = sf.window
+        if policy.reroute_failed_tor:
+            shared[mask] *= (1.0 - wf) + wf * DETOUR_FACTOR
+        else:
+            stall[mask] += wf
+        if uses_netsparse:
+            # The rack's property cache is gone for the window.
+            extra[mask] *= 1.0 + wf * hit_rate
+        telemetry.count("faults.switch.failures")
+
+    # -- stragglers -----------------------------------------------------
+    for st in plan.stragglers:
+        scope = "all" if st.node < 0 else f"node:{st.node}"
+        mask = _nodes(select_nodes(scope, n, nodes_per_rack), n)
+        shared[mask] *= st.slowdown
+        telemetry.count("faults.straggler.nodes", int(mask.sum()))
+
+    # -- RIG-unit failures ----------------------------------------------
+    if uses_netsparse:
+        for nf in plan.nics:
+            scope = "all" if nf.node < 0 else f"node:{nf.node}"
+            mask = _nodes(select_nodes(scope, n, nodes_per_rack), n)
+            f = min(nf.dead_frac, 0.9)
+            factor = 1.0 / (1.0 - f)
+            # Re-issuing the dead units' in-flight ops: cheap through
+            # the watchdog, expensive (full redo) without it.
+            factor *= (1.0 + 0.1 * f) if policy.reissue_rig else (1.0 + f)
+            extra[mask] *= factor
+            telemetry.count(
+                "faults.rig.dead_units",
+                int(round(f * config.n_client_units)) * int(mask.sum()),
+            )
+
+        # -- property-cache flushes -------------------------------------
+        for cf in plan.caches:
+            scope = "all" if cf.rack < 0 else f"rack:{cf.rack}"
+            mask = _nodes(select_nodes(scope, n, nodes_per_rack), n)
+            lost = cf.flush_frac * hit_rate
+            surcharge = 1.0 if policy.bypass_dead_cache else 3.0
+            extra[mask] *= 1.0 + lost * surcharge
+            telemetry.count("faults.cache.flushes", int(mask.any()))
+
+    combined = shared * extra * (1.0 + stall)
+    max_factor = float(combined.max()) if n else 1.0
+    events = fault_events(plan)
+    telemetry.count("faults.injected")
+    telemetry.count("faults.events", len(events))
+    telemetry.observe("faults.penalty.max_factor", max_factor,
+                      scheme=result.scheme)
+
+    degraded = replace(
+        result,
+        total_time=result.total_time * max_factor,
+        per_node_time=result.per_node_time * combined,
+        extras={
+            **result.extras,
+            "faults": {
+                "plan": plan.canonical_dict(),
+                "events": events,
+                "max_factor": max_factor,
+                "shared_factor_max": float(shared.max()) if n else 1.0,
+                "extra_factor_max": float(extra.max()) if n else 1.0,
+            },
+        },
+    )
+    return degraded

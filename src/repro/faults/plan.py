@@ -1,0 +1,335 @@
+"""Declarative fault scenarios: the :class:`FaultPlan` schema.
+
+A plan describes *what goes wrong* in a run — link drop/corruption/
+degradation windows, ToR switch failures, dead RIG units in NICs,
+property-cache flushes, straggler nodes — without saying anything about
+*how* a substrate realizes it.  The same plan compiles into
+
+- event-time injections for the DES layer
+  (:class:`repro.faults.injector.FaultInjector`), and
+- analytic penalties for the trace-level cluster model
+  (:func:`repro.faults.analytic.apply_faults`),
+
+so both substrates degrade the same scenario qualitatively alike.
+
+Plans are frozen, picklable, hashable into a stable content digest
+(they ride inside :class:`repro.parallel.jobs.SimJob` cache keys), and
+fully deterministic: every random decision a plan induces is drawn via
+:func:`hash_uniform`, a counter-keyed hash RNG whose output depends
+only on ``(seed, stream, n)`` — never on call order, process, or
+platform.
+
+Windows (``start``/``end``) are *fractions of the run* in ``[0, 1]`` so
+one plan applies unchanged to a microsecond DES gather and a
+millisecond trace-model iteration; the DES injector scales them by an
+explicit time horizon.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Tuple
+
+__all__ = [
+    "CacheFault",
+    "FaultPlan",
+    "LinkFault",
+    "NicFault",
+    "StragglerFault",
+    "SwitchFault",
+    "hash_uniform",
+    "select_nodes",
+]
+
+
+def hash_uniform(seed: int, stream: str, n: int) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` keyed by content.
+
+    The value depends only on ``(seed, stream, n)`` — not on how many
+    draws happened before — so fault decisions are reproducible across
+    runs, processes, and simulation event orderings.
+    """
+    payload = f"{seed}:{stream}:{n}".encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def _check_frac(value: float, name: str) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return float(value)
+
+
+def _check_window(start: float, end: float) -> None:
+    _check_frac(start, "start")
+    _check_frac(end, "end")
+    if end < start:
+        raise ValueError(f"window end {end!r} precedes start {start!r}")
+
+
+#: Link-fault scopes: which links of the fabric a fault touches.
+LINK_SCOPES = ("all", "host", "fabric")
+
+
+def _check_scope(scope: str) -> str:
+    if scope in LINK_SCOPES or scope.startswith(("rack:", "node:")):
+        return scope
+    raise ValueError(
+        f"unknown scope {scope!r}; expected one of {LINK_SCOPES}, "
+        "'rack:<r>' or 'node:<n>'"
+    )
+
+
+def select_nodes(scope: str, n_nodes: int, nodes_per_rack: int):
+    """Node ids a scope touches (``range`` or list, always sorted).
+
+    ``all``/``host``/``fabric`` scopes touch every node — what differs
+    between them is *which links* of those nodes are affected, which
+    only the DES injector distinguishes; the analytic model charges the
+    whole node either way.
+    """
+    _check_scope(scope)
+    if scope in LINK_SCOPES:
+        return range(n_nodes)
+    kind, _, arg = scope.partition(":")
+    which = int(arg)
+    if kind == "node":
+        return [which] if 0 <= which < n_nodes else []
+    lo = which * nodes_per_rack
+    return [node for node in range(lo, lo + nodes_per_rack)
+            if node < n_nodes]
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Links misbehave inside a window: drops, corruption, degradation.
+
+    ``drop_rate``/``corrupt_rate`` are per-packet probabilities (a
+    corrupted packet is discarded on arrival, so both cost one
+    retransmission); ``degrade`` multiplies link bandwidth in ``(0, 1]``
+    (1.0 = healthy, 0.5 = half rate — a flapping or retraining link).
+    """
+
+    scope: str = "all"
+    start: float = 0.0
+    end: float = 1.0
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    degrade: float = 1.0
+
+    def __post_init__(self):
+        _check_scope(self.scope)
+        _check_window(self.start, self.end)
+        _check_frac(self.drop_rate, "drop_rate")
+        _check_frac(self.corrupt_rate, "corrupt_rate")
+        if not 0.0 < self.degrade <= 1.0:
+            raise ValueError(f"degrade must be in (0, 1], got {self.degrade!r}")
+
+    @property
+    def loss_rate(self) -> float:
+        """Combined per-packet loss probability (drop + corrupt)."""
+        return min(self.drop_rate + self.corrupt_rate, 0.95)
+
+    @property
+    def window(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class SwitchFault:
+    """A ToR switch is down for a window; its rack loses connectivity
+    (rerouted or stalled, per the degradation policy) and its property
+    cache with it."""
+
+    rack: int = 0
+    start: float = 0.0
+    end: float = 1.0
+
+    def __post_init__(self):
+        if self.rack < 0:
+            raise ValueError("rack must be nonnegative")
+        _check_window(self.start, self.end)
+
+    @property
+    def window(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class NicFault:
+    """A fraction of a node's client RIG units fail permanently.
+
+    ``node`` of ``-1`` means every node (a bad SNIC firmware rollout);
+    PR generation slows by ``1 / (1 - dead_frac)`` and failed in-flight
+    operations are re-issued through the watchdog when the degradation
+    policy allows it.
+    """
+
+    node: int = -1
+    dead_frac: float = 0.5
+
+    def __post_init__(self):
+        if self.node < -1:
+            raise ValueError("node must be >= -1")
+        if not 0.0 <= self.dead_frac < 1.0:
+            raise ValueError(
+                f"dead_frac must be in [0, 1), got {self.dead_frac!r}"
+            )
+
+
+@dataclass(frozen=True)
+class CacheFault:
+    """A property cache loses (a fraction of) its contents at ``at``.
+
+    ``rack`` of ``-1`` flushes every ToR's cache.  ``corrupt`` marks
+    the flush as silent corruption: the analytic model charges the same
+    hit loss, the DES injector still flushes (a corrupted line must be
+    treated as absent once detected).
+    """
+
+    rack: int = -1
+    at: float = 0.0
+    flush_frac: float = 1.0
+    corrupt: bool = False
+
+    def __post_init__(self):
+        if self.rack < -1:
+            raise ValueError("rack must be >= -1")
+        _check_frac(self.at, "at")
+        _check_frac(self.flush_frac, "flush_frac")
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """A node (or with ``node=-1`` the whole cluster, a brownout) runs
+    its compute and SNIC processing ``slowdown`` times slower."""
+
+    node: int = -1
+    slowdown: float = 2.0
+
+    def __post_init__(self):
+        if self.node < -1:
+            raise ValueError("node must be >= -1")
+        if self.slowdown < 1.0:
+            raise ValueError(
+                f"slowdown must be >= 1, got {self.slowdown!r}"
+            )
+
+
+_FAULT_TYPES = {
+    "links": LinkFault,
+    "switches": SwitchFault,
+    "nics": NicFault,
+    "caches": CacheFault,
+    "stragglers": StragglerFault,
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One declarative fault scenario plus the seed that realizes it."""
+
+    name: str = "empty"
+    seed: int = 0
+    links: Tuple[LinkFault, ...] = ()
+    switches: Tuple[SwitchFault, ...] = ()
+    nics: Tuple[NicFault, ...] = ()
+    caches: Tuple[CacheFault, ...] = ()
+    stragglers: Tuple[StragglerFault, ...] = ()
+    #: Scenario intensity in [0, 1] when built via :meth:`scaled`;
+    #: informational (the individual fault fields are authoritative).
+    intensity: float = field(default=0.0)
+
+    def __post_init__(self):
+        for fname, ftype in _FAULT_TYPES.items():
+            entries = getattr(self, fname)
+            object.__setattr__(self, fname, tuple(entries))
+            for entry in getattr(self, fname):
+                if not isinstance(entry, ftype):
+                    raise TypeError(
+                        f"{fname} entries must be {ftype.__name__}, "
+                        f"got {type(entry).__name__}"
+                    )
+        _check_frac(self.intensity, "intensity")
+
+    # -- identity ------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing (the fault-free plan)."""
+        return not any(getattr(self, f) for f in _FAULT_TYPES)
+
+    def canonical_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "intensity": repr(float(self.intensity)),
+            **{
+                fname: [asdict(e) for e in getattr(self, fname)]
+                for fname in sorted(_FAULT_TYPES)
+            },
+        }
+
+    def canonical_json(self) -> str:
+        """Key-sorted, whitespace-free JSON — the plan's stable wire
+        form (rides in :class:`~repro.parallel.jobs.SimJob.faults`)."""
+        return json.dumps(self.canonical_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        kw = {
+            fname: tuple(ftype(**entry) for entry in data.get(fname, []))
+            for fname, ftype in _FAULT_TYPES.items()
+        }
+        intensity = data.get("intensity", 0.0)
+        if isinstance(intensity, str):
+            intensity = float(intensity)
+        return cls(name=data.get("name", "unnamed"),
+                   seed=int(data.get("seed", 0)),
+                   intensity=intensity, **kw)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    # -- canonical scenarios -------------------------------------------
+
+    @classmethod
+    def empty(cls, seed: int = 0) -> "FaultPlan":
+        return cls(name="empty", seed=seed)
+
+    @classmethod
+    def scaled(cls, intensity: float, seed: int = 0) -> "FaultPlan":
+        """The canonical degradation scenario at a given intensity.
+
+        Intensity 0 is the empty plan; intensity 1 is the full storm:
+        cluster-wide lossy, degraded links, one failed ToR, a SNIC
+        rollout that kills ~half the client RIG units everywhere, full
+        property-cache flushes and a cluster-wide compute brownout.
+        Every knob grows monotonically with intensity, so degradation
+        reports over an intensity sweep are monotone by construction.
+        """
+        i = _check_frac(intensity, "intensity")
+        if i == 0.0:
+            return cls(name="scaled-0.00", seed=seed)
+        return cls(
+            name=f"scaled-{i:.2f}",
+            seed=seed,
+            intensity=i,
+            links=(
+                LinkFault(scope="all", start=0.1, end=0.9,
+                          drop_rate=0.04 * i, corrupt_rate=0.01 * i,
+                          degrade=1.0 - 0.35 * i),
+            ),
+            switches=(
+                SwitchFault(rack=0, start=0.45, end=0.45 + 0.35 * i),
+            ),
+            nics=(NicFault(node=-1, dead_frac=0.45 * i),),
+            caches=(CacheFault(rack=-1, at=0.5, flush_frac=i),),
+            stragglers=(StragglerFault(node=-1, slowdown=1.0 + 1.5 * i),),
+        )

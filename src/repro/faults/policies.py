@@ -1,0 +1,122 @@
+"""Resilience policies: retry backoff and graceful degradation.
+
+Backoff policies answer "how long does the host wait before re-issuing
+a failed RIG operation" — :class:`repro.core.reliability.RigWatchdog`
+takes one (a policy object or a spec string like ``"exponential"``).
+Exponential backoff jitters deterministically via
+:func:`repro.faults.plan.hash_uniform`, keyed by ``(seed, attempt)``,
+so retry schedules are identical across runs.
+
+:class:`DegradePolicy` selects the graceful-degradation modes the
+analytic fault model honours: bypass a dead property cache (misses keep
+flowing to owners instead of stalling), re-route around a failed ToR
+(detour through a healthy path instead of waiting out the outage), and
+re-issue operations lost to failed RIG units through the watchdog.
+Disabling a mode makes the corresponding fault *more* expensive — the
+cost of not having the mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.plan import hash_uniform
+
+__all__ = [
+    "BackoffPolicy",
+    "DegradePolicy",
+    "ExponentialBackoff",
+    "FixedBackoff",
+    "backoff_from_spec",
+]
+
+
+class BackoffPolicy:
+    """Delay (seconds) before re-issuing after a failed attempt."""
+
+    def delay(self, attempt: int) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedBackoff(BackoffPolicy):
+    """Re-issue after a constant delay (0 = immediately, the historical
+    watchdog behaviour)."""
+
+    delay_s: float = 0.0
+
+    def __post_init__(self):
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be nonnegative")
+
+    def delay(self, attempt: int) -> float:
+        return self.delay_s
+
+
+@dataclass(frozen=True)
+class ExponentialBackoff(BackoffPolicy):
+    """Exponential backoff with deterministic (seeded) jitter.
+
+    Attempt ``a`` waits ``base * factor**a`` capped at ``max_delay``,
+    then jittered into ``[(1-jitter)*d, d]`` by a hash draw keyed on
+    ``(seed, attempt)`` — the same seed always yields the same retry
+    schedule.
+    """
+
+    base: float = 1e-4
+    factor: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.base < 0 or self.max_delay < 0:
+            raise ValueError("base and max_delay must be nonnegative")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int) -> float:
+        if attempt < 0:
+            raise ValueError("attempt must be nonnegative")
+        d = min(self.base * self.factor ** attempt, self.max_delay)
+        if self.jitter == 0.0:
+            return d
+        u = hash_uniform(self.seed, "backoff", attempt)
+        return d * (1.0 - self.jitter * u)
+
+
+def backoff_from_spec(spec, seed: int = 0) -> BackoffPolicy:
+    """Coerce a policy spec to a :class:`BackoffPolicy`.
+
+    Accepts a policy instance (returned as-is), ``None`` / ``"fixed"``
+    (immediate re-issue), or ``"exponential"`` (seeded default curve).
+    """
+    if spec is None:
+        return FixedBackoff(0.0)
+    if isinstance(spec, BackoffPolicy):
+        return spec
+    if spec == "fixed":
+        return FixedBackoff(0.0)
+    if spec == "exponential":
+        return ExponentialBackoff(seed=seed)
+    raise ValueError(
+        f"unknown backoff spec {spec!r}; expected a BackoffPolicy, "
+        "'fixed' or 'exponential'"
+    )
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """Which graceful-degradation mechanisms are active."""
+
+    bypass_dead_cache: bool = True
+    reroute_failed_tor: bool = True
+    reissue_rig: bool = True
+
+    @classmethod
+    def none(cls) -> "DegradePolicy":
+        """Every mechanism off — the worst-case comparison point."""
+        return cls(bypass_dead_cache=False, reroute_failed_tor=False,
+                   reissue_rig=False)

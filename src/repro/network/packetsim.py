@@ -49,6 +49,14 @@ class PacketNetwork:
     domain).  An optional ``switch_hook(packet, link_id)`` observes each
     hop — the NetSparse switch models (cache, concatenators) plug in
     there in the integration tests.
+
+    The fabric itself is lossless (§7.1: bounded queues + blocking puts
+    — congestion stalls, it never drops).  Losses model *hardware
+    failures* only, via the optional ``drop_hook(packet, link_id) ->
+    bool``: returning True discards the packet after its wire traversal
+    of that link (``stats_dropped`` counts them).  With no hook
+    installed — the default — the simulation is bit-identical to the
+    historical lossless-only behaviour.
     """
 
     def __init__(
@@ -57,10 +65,12 @@ class PacketNetwork:
         topology: Topology,
         queue_packets: int = 64,
         switch_hook: Optional[Callable[[Packet, int], Optional[Packet]]] = None,
+        drop_hook: Optional[Callable[[Packet, int], bool]] = None,
     ):
         self.sim = sim
         self.topology = topology
         self.switch_hook = switch_hook
+        self.drop_hook = drop_hook
         self.link_queues: List[Store] = [
             Store(sim, capacity=queue_packets, name=f"link{ln.link_id}")
             for ln in topology.links
@@ -70,6 +80,7 @@ class PacketNetwork:
         }
         self.stats_delivered = 0
         self.stats_bytes = 0
+        self.stats_dropped = 0
         for link in topology.links:
             sim.process(self._link_proc(link.link_id), name=f"link{link.link_id}")
 
@@ -85,6 +96,9 @@ class PacketNetwork:
 
     def _propagate(self, packet: "Packet", link_id: int, latency: float):
         yield self.sim.timeout(latency)
+        if self.drop_hook is not None and self.drop_hook(packet, link_id):
+            self.stats_dropped += 1
+            return
         yield from self._forward(packet, link_id)
 
     def _forward(self, packet: Packet, arrived_on: int):

@@ -204,12 +204,13 @@ def engine_scope(engine: ExecutionEngine):
 def simulate(scheme: str, matrix: str, k: int, *, config=None,
              scale_name: str = "small", seed: int = 7,
              rig_batch: Optional[int] = None, scale: Optional[float] = None,
-             topology=None, partition: str = "rows"):
+             topology=None, partition: str = "rows",
+             faults: Optional[str] = None):
     """One simulation through the default engine (memo + cache aware)."""
     job = SimJob(scheme=scheme, matrix=matrix, k=k,
                  config=config or NetSparseConfig(), scale_name=scale_name,
                  seed=seed, rig_batch=rig_batch, scale=scale,
-                 topology=topology, partition=partition)
+                 topology=topology, partition=partition, faults=faults)
     return get_engine().run_job(job)
 
 

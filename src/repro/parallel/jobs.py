@@ -24,7 +24,7 @@ __all__ = ["CODE_SALT", "SCHEMES", "SimJob", "execute_job", "timed_execute"]
 
 #: Cache-version salt.  Bump whenever simulator semantics change so
 #: stale cached results can never leak into fresh tables.
-CODE_SALT = "netsparse-sim-v1"
+CODE_SALT = "netsparse-sim-v2"
 
 #: Communication schemes the engine knows how to dispatch.
 SCHEMES = ("netsparse", "saopt", "suopt", "hybrid")
@@ -43,6 +43,10 @@ class SimJob:
     :func:`~repro.sparse.suite.scale_factor`.  ``topology`` is either
     ``None`` (build the config's fabric) or a reconstructible spec
     tuple ``("leafspine", n_racks, nodes_per_rack, n_spines)``.
+    ``faults`` is either ``None`` (fault-free) or the canonical JSON of
+    a :class:`~repro.faults.FaultPlan` (string, so the job stays
+    hashable and picklable); the plan's analytic penalties are applied
+    to the result, and its content is part of the cache digest.
     """
 
     scheme: str
@@ -55,6 +59,7 @@ class SimJob:
     scale: Optional[float] = None
     topology: Optional[Tuple] = None
     partition: str = "rows"
+    faults: Optional[str] = None
 
     def __post_init__(self):
         if self.scheme not in SCHEMES:
@@ -72,6 +77,15 @@ class SimJob:
                 "only ('leafspine', n_racks, nodes_per_rack, n_spines) "
                 "is reconstructible"
             )
+        if self.faults is not None:
+            if not isinstance(self.faults, str):
+                raise ValueError(
+                    "faults must be a FaultPlan canonical-JSON string "
+                    "(use plan.canonical_json()) or None"
+                )
+            from repro.faults import FaultPlan
+
+            FaultPlan.from_json(self.faults)  # validate eagerly
 
     # -- identity ------------------------------------------------------
 
@@ -89,6 +103,7 @@ class SimJob:
             "scale": None if self.scale is None else repr(float(self.scale)),
             "topology": None if self.topology is None else list(self.topology),
             "partition": self.partition,
+            "faults": self.faults,
             "config": self.config.canonical_dict(),
         }
 
@@ -141,18 +156,24 @@ def execute_job(job: SimJob):
     cfg = job.config
     with telemetry.span(f"sim.{job.scheme}", matrix=job.matrix, k=job.k):
         if job.scheme == "suopt":
-            return simulate_suopt(mat, job.k, cfg)
-        if job.scheme == "saopt":
-            return simulate_saopt(mat, job.k, cfg, scale=sc)
-        if job.scheme == "hybrid":
-            return simulate_hybrid(mat, job.k, cfg, scale=sc)
-        part = (
-            balanced_by_nnz(mat, cfg.n_nodes) if job.partition == "nnz"
-            else None
-        )
-        return simulate_netsparse(mat, job.k, cfg, _build_topology(job),
-                                  rig_batch=job.rig_batch, scale=sc,
-                                  partition=part)
+            result = simulate_suopt(mat, job.k, cfg)
+        elif job.scheme == "saopt":
+            result = simulate_saopt(mat, job.k, cfg, scale=sc)
+        elif job.scheme == "hybrid":
+            result = simulate_hybrid(mat, job.k, cfg, scale=sc)
+        else:
+            part = (
+                balanced_by_nnz(mat, cfg.n_nodes) if job.partition == "nnz"
+                else None
+            )
+            result = simulate_netsparse(mat, job.k, cfg, _build_topology(job),
+                                        rig_batch=job.rig_batch, scale=sc,
+                                        partition=part)
+    if job.faults is not None:
+        from repro.faults import FaultPlan, apply_faults
+
+        result = apply_faults(result, FaultPlan.from_json(job.faults), cfg)
+    return result
 
 
 def timed_execute(job: SimJob):

@@ -43,6 +43,10 @@ KEY_COUNTERS = [
     "engine.jobs",
     "engine.executed",
     "dessim.prs.issued",
+    "faults.injected",
+    "faults.events",
+    "faults.watchdog.attempts",
+    "faults.watchdog.timeouts",
 ]
 
 

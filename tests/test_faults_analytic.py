@@ -1,0 +1,111 @@
+"""Tests for analytic fault penalties on the trace-level substrate."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    DegradePolicy,
+    FaultPlan,
+    LinkFault,
+    NicFault,
+    SwitchFault,
+    apply_faults,
+    fault_events,
+)
+from repro.parallel import ExecutionEngine, engine_scope, simulate
+
+MAT = "queen"
+K = 16
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    """One fault-free result per scheme (tiny scale, computed once)."""
+    with engine_scope(ExecutionEngine()):
+        return {
+            s: simulate(s, MAT, K, scale_name="tiny")
+            for s in ("netsparse", "suopt", "saopt")
+        }
+
+
+class TestEmptyPlan:
+    def test_returns_the_same_object(self, baselines):
+        res = baselines["netsparse"]
+        assert apply_faults(res, FaultPlan.empty()) is res
+        assert apply_faults(res, FaultPlan.scaled(0.0)) is res
+
+
+class TestDeterminism:
+    def test_same_plan_identical_output(self, baselines):
+        res = baselines["netsparse"]
+        plan = FaultPlan.scaled(0.6, seed=3)
+        a = apply_faults(res, plan)
+        b = apply_faults(res, plan)
+        assert a.total_time == b.total_time  # bitwise
+        np.testing.assert_array_equal(a.per_node_time, b.per_node_time)
+        assert a.extras["faults"] == b.extras["faults"]
+
+    def test_event_log_sorted_and_stable(self):
+        plan = FaultPlan.scaled(0.8)
+        events = fault_events(plan)
+        assert events == fault_events(plan)
+        keys = [(e["t"], e["kind"], e["target"]) for e in events]
+        assert keys == sorted(keys)
+        kinds = {e["kind"] for e in events}
+        assert {"link.fault", "switch.fail", "nic.rig_units_fail",
+                "cache.flush", "node.straggle"} <= kinds
+
+
+class TestPenaltyStructure:
+    def test_faults_slow_everything_down(self, baselines):
+        plan = FaultPlan.scaled(0.5)
+        for scheme, res in baselines.items():
+            hurt = apply_faults(res, plan)
+            assert hurt.total_time > res.total_time
+            assert (hurt.per_node_time >= res.per_node_time).all()
+            finfo = hurt.extras["faults"]
+            assert finfo["max_factor"] > 1.0
+            assert finfo["plan"] == plan.canonical_dict()
+
+    def test_netsparse_only_penalties_spare_baselines(self, baselines):
+        """RIG/cache faults touch no shared mechanism: software schemes
+        pass through them unscathed."""
+        plan = FaultPlan(name="ns-only", nics=(NicFault(dead_frac=0.5),))
+        su = apply_faults(baselines["suopt"], plan)
+        ns = apply_faults(baselines["netsparse"], plan)
+        assert su.total_time == baselines["suopt"].total_time
+        assert ns.total_time > baselines["netsparse"].total_time
+
+    def test_speedup_decreases_monotonically(self, baselines):
+        """The resilience experiment's core claim, at the apply_faults
+        level: NS-over-SU speedup strictly decreases with intensity."""
+        speedups = []
+        for i in (0.0, 0.25, 0.5, 0.75, 1.0):
+            plan = FaultPlan.scaled(i)
+            su = apply_faults(baselines["suopt"], plan)
+            ns = apply_faults(baselines["netsparse"], plan)
+            speedups.append(su.total_time / ns.total_time)
+        assert all(a > b for a, b in zip(speedups, speedups[1:])), speedups
+
+    def test_degradation_policy_prices_missing_mechanisms(self, baselines):
+        """Turning every graceful-degradation mode off must cost at
+        least as much on every fault class it governs."""
+        res = baselines["netsparse"]
+        for plan in (
+            FaultPlan(name="rig", nics=(NicFault(dead_frac=0.4),)),
+            FaultPlan(name="tor", switches=(SwitchFault(start=0.2, end=0.8),)),
+        ):
+            graceful = apply_faults(res, plan)
+            hard = apply_faults(res, plan, policy=DegradePolicy.none())
+            assert hard.total_time >= graceful.total_time
+
+    def test_scoped_link_fault_hits_only_its_rack(self, baselines):
+        res = baselines["netsparse"]
+        plan = FaultPlan(
+            name="rack0", links=(LinkFault(scope="rack:0", drop_rate=0.3),)
+        )
+        hurt = apply_faults(res, plan)
+        per = hurt.per_node_time / res.per_node_time
+        n_rack = min(16, res.n_nodes)  # config default nodes_per_rack
+        assert (per[:n_rack] > 1.0).all()
+        assert np.allclose(per[n_rack:], 1.0)

@@ -1,0 +1,115 @@
+"""Tests for the FaultPlan schema: validation, identity, determinism."""
+
+import pickle
+
+import pytest
+
+from repro.faults import (
+    CacheFault,
+    FaultPlan,
+    LinkFault,
+    NicFault,
+    StragglerFault,
+    SwitchFault,
+    hash_uniform,
+    select_nodes,
+)
+
+
+class TestHashUniform:
+    def test_deterministic_and_in_range(self):
+        draws = [hash_uniform(7, "drop.link3", n) for n in range(200)]
+        assert draws == [hash_uniform(7, "drop.link3", n) for n in range(200)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+
+    def test_streams_and_seeds_independent(self):
+        assert hash_uniform(7, "a", 0) != hash_uniform(7, "b", 0)
+        assert hash_uniform(7, "a", 0) != hash_uniform(8, "a", 0)
+        assert hash_uniform(7, "a", 0) != hash_uniform(7, "a", 1)
+
+    def test_roughly_uniform(self):
+        draws = [hash_uniform(1, "u", n) for n in range(2000)]
+        mean = sum(draws) / len(draws)
+        assert 0.45 < mean < 0.55
+
+
+class TestSelectNodes:
+    def test_global_scopes_touch_every_node(self):
+        for scope in ("all", "host", "fabric"):
+            assert list(select_nodes(scope, 8, 4)) == list(range(8))
+
+    def test_rack_and_node_scopes(self):
+        assert list(select_nodes("rack:1", 8, 4)) == [4, 5, 6, 7]
+        assert list(select_nodes("node:3", 8, 4)) == [3]
+        assert list(select_nodes("node:99", 8, 4)) == []
+        assert list(select_nodes("rack:5", 8, 4)) == []
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ValueError):
+            select_nodes("switch:0", 8, 4)
+
+
+class TestFaultValidation:
+    def test_link_fault_bounds(self):
+        with pytest.raises(ValueError):
+            LinkFault(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            LinkFault(start=0.8, end=0.2)
+        with pytest.raises(ValueError):
+            LinkFault(degrade=0.0)
+        with pytest.raises(ValueError):
+            LinkFault(scope="bogus")
+
+    def test_loss_rate_combines_and_caps(self):
+        lf = LinkFault(drop_rate=0.2, corrupt_rate=0.1)
+        assert lf.loss_rate == pytest.approx(0.3)
+        assert LinkFault(drop_rate=0.9, corrupt_rate=0.9).loss_rate == 0.95
+
+    def test_other_faults_bounds(self):
+        with pytest.raises(ValueError):
+            SwitchFault(rack=-1)
+        with pytest.raises(ValueError):
+            NicFault(dead_frac=1.0)
+        with pytest.raises(ValueError):
+            CacheFault(at=2.0)
+        with pytest.raises(ValueError):
+            StragglerFault(slowdown=0.5)
+
+    def test_plan_type_checks_entries(self):
+        with pytest.raises(TypeError):
+            FaultPlan(links=(SwitchFault(),))
+
+
+class TestFaultPlanIdentity:
+    def test_empty_plan(self):
+        plan = FaultPlan.empty()
+        assert plan.is_empty()
+        assert FaultPlan.scaled(0.0).is_empty()
+        assert not FaultPlan.scaled(0.5).is_empty()
+
+    def test_json_round_trip_preserves_digest(self):
+        plan = FaultPlan.scaled(0.66, seed=13)
+        again = FaultPlan.from_json(plan.canonical_json())
+        assert again == plan
+        assert again.digest() == plan.digest()
+
+    def test_digest_sensitive_to_content(self):
+        base = FaultPlan.scaled(0.5)
+        assert base.digest() == FaultPlan.scaled(0.5).digest()
+        assert base.digest() != FaultPlan.scaled(0.50001).digest()
+        assert base.digest() != FaultPlan.scaled(0.5, seed=1).digest()
+        assert base.digest() != FaultPlan.empty().digest()
+
+    def test_plan_hashable_and_picklable(self):
+        plan = FaultPlan.scaled(0.5)
+        assert hash(plan) == hash(FaultPlan.scaled(0.5))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_scaled_knobs_grow_with_intensity(self):
+        lo, hi = FaultPlan.scaled(0.25), FaultPlan.scaled(0.75)
+        assert lo.links[0].loss_rate < hi.links[0].loss_rate
+        assert lo.links[0].degrade > hi.links[0].degrade
+        assert lo.switches[0].window < hi.switches[0].window
+        assert lo.nics[0].dead_frac < hi.nics[0].dead_frac
+        assert lo.caches[0].flush_frac < hi.caches[0].flush_frac
+        assert lo.stragglers[0].slowdown < hi.stragglers[0].slowdown

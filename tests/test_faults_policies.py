@@ -1,0 +1,79 @@
+"""Tests for backoff and graceful-degradation policies."""
+
+import pytest
+
+from repro.faults.policies import (
+    BackoffPolicy,
+    DegradePolicy,
+    ExponentialBackoff,
+    FixedBackoff,
+    backoff_from_spec,
+)
+
+
+class TestFixedBackoff:
+    def test_constant_delay(self):
+        assert FixedBackoff(0.0).delay(0) == 0.0
+        assert FixedBackoff(0.25).delay(5) == 0.25
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedBackoff(-1.0)
+
+
+class TestExponentialBackoff:
+    def test_grows_and_caps(self):
+        bo = ExponentialBackoff(base=1e-4, factor=2.0, max_delay=4e-4,
+                                jitter=0.0)
+        delays = [bo.delay(a) for a in range(5)]
+        assert delays == sorted(delays)
+        assert delays[0] == pytest.approx(1e-4)
+        assert delays[-1] == pytest.approx(4e-4)  # capped
+
+    def test_jitter_deterministic_and_bounded(self):
+        bo = ExponentialBackoff(base=1e-3, factor=1.0, max_delay=1.0,
+                                jitter=0.5, seed=3)
+        d0 = bo.delay(0)
+        assert d0 == bo.delay(0)  # same seed + attempt -> same delay
+        assert 0.5e-3 <= d0 <= 1e-3  # within [(1-jitter)*d, d]
+        # A different seed jitters differently (overwhelmingly likely).
+        assert d0 != ExponentialBackoff(base=1e-3, factor=1.0,
+                                        max_delay=1.0, jitter=0.5,
+                                        seed=4).delay(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialBackoff(factor=0.5)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(jitter=2.0)
+        with pytest.raises(ValueError):
+            ExponentialBackoff().delay(-1)
+
+
+class TestBackoffFromSpec:
+    def test_coercions(self):
+        assert backoff_from_spec(None).delay(3) == 0.0
+        assert backoff_from_spec("fixed").delay(0) == 0.0
+        exp = backoff_from_spec("exponential", seed=9)
+        assert isinstance(exp, ExponentialBackoff)
+        assert exp.seed == 9
+        mine = FixedBackoff(0.5)
+        assert backoff_from_spec(mine) is mine
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError):
+            backoff_from_spec("random")
+
+    def test_base_class_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            BackoffPolicy().delay(0)
+
+
+class TestDegradePolicy:
+    def test_defaults_on_none_off(self):
+        assert DegradePolicy().bypass_dead_cache
+        assert DegradePolicy().reroute_failed_tor
+        assert DegradePolicy().reissue_rig
+        none = DegradePolicy.none()
+        assert not (none.bypass_dead_cache or none.reroute_failed_tor
+                    or none.reissue_rig)

@@ -88,6 +88,55 @@ def test_switch_hook_consumes_packet():
     assert net.stats_delivered == 1
 
 
+def test_never_dropping_hook_is_bit_identical_to_no_hook():
+    """The lossless default must be exactly the historical behaviour;
+    a hook that never fires must not perturb timing either."""
+
+    def run(**kw):
+        sim, topo, net = make_net(**kw)
+        pkts = [Packet(src=0, dst=3, size_bytes=1500) for _ in range(8)]
+
+        def sender():
+            for p in pkts:
+                yield from net.inject(p)
+
+        sim.process(sender())
+        sim.run()
+        return [p.latency for p in pkts], net
+
+    base_lat, base_net = run()
+    hook_lat, hook_net = run(drop_hook=lambda pkt, link_id: False)
+    assert hook_lat == base_lat  # bitwise-identical floats
+    assert hook_net.stats_dropped == 0
+    assert hook_net.stats_delivered == base_net.stats_delivered
+    assert hook_net.stats_bytes == base_net.stats_bytes
+
+
+def test_drop_hook_discards_and_counts():
+    dropped_ids = set()
+
+    def drop_every_third(pkt, link_id):
+        if pkt.packet_id % 3 == 0 and pkt.delivered_at == 0.0:
+            dropped_ids.add(pkt.packet_id)
+            return True
+        return False
+
+    sim, topo, net = make_net(drop_hook=drop_every_third)
+    pkts = [Packet(src=0, dst=3, size_bytes=1500) for _ in range(9)]
+
+    def sender():
+        for p in pkts:
+            yield from net.inject(p)
+
+    sim.process(sender())
+    sim.run()
+    assert net.stats_dropped == len(dropped_ids) > 0
+    assert net.stats_delivered == len(pkts) - len(dropped_ids)
+    for p in pkts:
+        delivered = p.delivered_at > 0.0
+        assert delivered == (p.packet_id not in dropped_ids)
+
+
 def test_packetsim_agrees_with_flowmodel_on_incast():
     """Cross-validation: DES completion time matches the analytic flow
     model within 15% for an incast pattern (the flow model ignores

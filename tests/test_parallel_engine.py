@@ -65,6 +65,9 @@ class TestJobDigest:
         {"topology": ("leafspine", 2, 4, 1)},
         {"config": NetSparseConfig(n_nodes=64)},
         {"config": NetSparseConfig().with_features(property_cache=False)},
+        {"faults": '{"name":"x","seed":0,"links":[{"scope":"all",'
+                   '"start":0.0,"end":1.0,"drop_rate":0.1,'
+                   '"corrupt_rate":0.0,"degrade":1.0}]}'},
     ])
     def test_digest_changes_with_identity(self, override):
         assert _job(**override).digest() != _job().digest()

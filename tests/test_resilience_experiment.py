@@ -1,0 +1,121 @@
+"""Tests for the resilience experiment, its CLI, and fault-aware jobs."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.config import NetSparseConfig
+from repro.experiments.resilience import degradation_report, run_resilience
+from repro.faults import FaultPlan
+from repro.parallel import (
+    ExecutionEngine,
+    ResultCache,
+    SimJob,
+    engine_scope,
+    get_engine,
+    set_engine,
+)
+
+MAT = "queen"
+K = 16
+
+
+def _job(**overrides) -> SimJob:
+    base = dict(scheme="netsparse", matrix=MAT, k=K,
+                config=NetSparseConfig(), scale_name="tiny")
+    base.update(overrides)
+    return SimJob(**base)
+
+
+class TestFaultAwareJobs:
+    def test_faults_change_the_digest(self):
+        plain = _job()
+        faulty = _job(faults=FaultPlan.scaled(0.5).canonical_json())
+        other = _job(faults=FaultPlan.scaled(0.7).canonical_json())
+        assert plain.digest() != faulty.digest()
+        assert faulty.digest() != other.digest()
+        assert faulty.digest() == _job(
+            faults=FaultPlan.scaled(0.5).canonical_json()
+        ).digest()
+
+    def test_invalid_faults_rejected_eagerly(self):
+        with pytest.raises(ValueError):
+            _job(faults=FaultPlan.scaled(0.5))  # the object, not its JSON
+        with pytest.raises(json.JSONDecodeError):
+            _job(faults="not json")
+
+    def test_executed_result_carries_the_penalty(self):
+        plan = FaultPlan.scaled(0.5)
+        with ExecutionEngine() as eng:
+            clean, hurt = eng.run_jobs([
+                _job(), _job(faults=plan.canonical_json()),
+            ])
+        assert hurt.total_time > clean.total_time
+        assert hurt.extras["faults"]["plan"] == plan.canonical_dict()
+        assert "faults" not in clean.extras
+
+    def test_faulty_and_clean_never_share_cache_entries(self, tmp_path):
+        plan = FaultPlan.scaled(0.5)
+        jobs = [_job(), _job(faults=plan.canonical_json())]
+        with ExecutionEngine(cache=ResultCache(tmp_path)) as eng:
+            first = eng.run_jobs(jobs)
+            assert eng.stats.executed == 2
+        with ExecutionEngine(cache=ResultCache(tmp_path)) as eng:
+            second = eng.run_jobs(jobs)
+            assert eng.stats.cache_hits == 2
+        for a, b in zip(first, second):
+            assert a.total_time == b.total_time
+            np.testing.assert_array_equal(a.per_node_time, b.per_node_time)
+
+
+class TestResilienceExperiment:
+    @pytest.fixture(scope="class")
+    def table(self):
+        with engine_scope(ExecutionEngine()):
+            return run_resilience(scale="tiny", matrices=("queen",),
+                                  intensities=(0.0, 0.5, 1.0))
+
+    def test_rows_cover_the_sweep(self, table):
+        assert table.exp_id == "resilience"
+        assert table.column("intensity") == [0.0, 0.5, 1.0]
+        assert table.row_by("intensity", 0.0)[-1] == 1.0  # no penalty
+
+    def test_speedup_strictly_decreasing(self, table):
+        speedups = table.column("NS/SUOpt x")
+        assert all(a > b for a, b in zip(speedups, speedups[1:])), speedups
+
+    def test_penalty_strictly_increasing(self, table):
+        penalties = table.column("NS penalty x")
+        assert all(a < b for a, b in zip(penalties, penalties[1:]))
+
+    def test_degradation_report_markdown(self, table):
+        md = degradation_report(table)
+        assert md.startswith("# NetSparse degradation report")
+        assert "| intensity |" in md.replace("|intensity", "| intensity")
+        assert "retains" in md
+        # One markdown row per sweep point (+ header + separator).
+        assert sum(ln.startswith("|") for ln in md.splitlines()) == 5
+
+
+class TestResilienceCli:
+    def test_smoke_writes_artifacts_and_passes(self, tmp_path, capsys):
+        previous = set_engine(None)
+        try:
+            rc = main(["resilience", "--smoke", "-o", str(tmp_path)])
+        finally:
+            get_engine().close()
+            set_engine(previous)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[smoke] degradation monotone" in out
+        assert "faults." in out
+        md = tmp_path / "resilience_tiny.md"
+        metrics = tmp_path / "resilience_tiny.metrics.json"
+        assert md.exists() and metrics.exists()
+        assert "degradation report" in md.read_text()
+        dumped = json.loads(metrics.read_text())
+        counters = dumped.get("counters", {})
+        assert any(k.startswith("faults.") and v > 0
+                   for k, v in counters.items())
