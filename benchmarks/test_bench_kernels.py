@@ -1,0 +1,71 @@
+"""Microbenchmarks for the fast hot-loop kernels.
+
+These publish kernel-level wall times into the same ``BENCH_<date>.json``
+artifact as the table benchmarks, so a regression in one kernel is
+visible in ``scripts/bench_compare.py`` even when the end-to-end walls
+hide it behind caching.  Workloads are sized by ``REPRO_BENCH_SCALE``
+and exercise the shapes the 128-node cluster model actually feeds the
+kernels (skewed PR streams, rack-merged destination streams, batched
+RIG dispatch).
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.core.concat import window_concat
+from repro.core.pcache_fast import delayed_cache_hits
+from repro.core.rig import rig_generation_time
+
+#: Stream lengths per REPRO_BENCH_SCALE.
+_SIZES = {"tiny": 100_000, "small": 1_000_000, "medium": 4_000_000}
+
+
+def _stream_len(scale):
+    return _SIZES.get(scale, _SIZES["small"])
+
+
+def _pcache_workload(stream):
+    hits, stats = delayed_cache_hits(
+        stream, n_sets=4096, ways=16, delay=2000
+    )
+    return SimpleNamespace(
+        exp_id="kernel.pcache", hits=int(hits.sum()), stats=stats
+    )
+
+
+def _concat_workload(dests):
+    stats = window_concat(dests, max_prs_per_packet=11, window_prs=64)
+    return SimpleNamespace(exp_id="kernel.concat", stats=stats)
+
+
+def _rig_workload(sizes):
+    total = 0.0
+    for n_idxs in sizes:
+        total += rig_generation_time(int(n_idxs), n_units=4, batch_size=32)
+    return SimpleNamespace(exp_id="kernel.rig", total=total)
+
+
+def test_kernel_pcache(benchmark, scale):
+    rng = np.random.default_rng(1)
+    stream = rng.zipf(1.3, size=_stream_len(scale)) % (1 << 20)
+    result = run_once(benchmark, _pcache_workload, stream)
+    assert result.stats.lookups == stream.size
+    assert 0 < result.hits < stream.size
+
+
+def test_kernel_concat(benchmark, scale):
+    rng = np.random.default_rng(2)
+    dests = rng.integers(0, 128, size=_stream_len(scale))
+    result = run_once(benchmark, _concat_workload, dests)
+    assert result.stats.n_prs == dests.size
+    assert 0 < result.stats.n_packets <= dests.size
+
+
+def test_kernel_rig(benchmark, scale):
+    rng = np.random.default_rng(3)
+    sizes = rng.integers(1, _stream_len(scale) // 10, size=200)
+    result = run_once(benchmark, _rig_workload, sizes)
+    assert result.total > 0.0

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Compare the two most recent ``BENCH_*.json`` perf snapshots.
+
+The benchmark session (``benchmarks/conftest.py``) appends one
+machine-readable snapshot per run; this script diffs the newest against
+the previous one, prints a per-test wall-time table, and flags
+regressions above a threshold (default 20%).
+
+Intended uses:
+
+- CI (non-blocking): collects snapshots from the checkout *and* the
+  fresh ``bench-artifacts/`` output, emitting GitHub ``::warning``
+  annotations for regressions while always exiting 0 unless
+  ``--strict`` is given.
+- Locally: ``python scripts/bench_compare.py`` after a benchmark run
+  shows what this change did to the perf trajectory.
+
+Only wall time is compared; tests present in one snapshot but not the
+other are reported informationally.  Snapshots at different
+``REPRO_BENCH_SCALE`` settings are never compared (walls are not
+commensurable across scales).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Dict, List, Tuple
+
+DEFAULT_THRESHOLD = 0.20
+
+
+def collect_snapshots(locations: List[str]) -> List[str]:
+    """All BENCH_*.json files under the given files/directories."""
+    paths = []
+    for loc in locations:
+        if os.path.isdir(loc):
+            paths.extend(glob.glob(os.path.join(loc, "BENCH_*.json")))
+        elif os.path.isfile(loc):
+            paths.append(loc)
+    # De-duplicate, then order oldest -> newest.  The snapshot's own
+    # timestamp outranks mtime (checkouts reset mtimes).
+    uniq = sorted(set(os.path.abspath(p) for p in paths))
+
+    def sort_key(path: str) -> Tuple[str, float]:
+        try:
+            with open(path) as fh:
+                stamp = json.load(fh).get("timestamp", "")
+        except (OSError, json.JSONDecodeError):
+            stamp = ""
+        return (stamp, os.path.getmtime(path))
+
+    return sorted(uniq, key=sort_key)
+
+
+def load_walls(path: str) -> Tuple[dict, Dict[str, float]]:
+    with open(path) as fh:
+        data = json.load(fh)
+    walls = {
+        rec["test"]: float(rec["wall_s"])
+        for rec in data.get("results", [])
+        if "test" in rec and "wall_s" in rec
+    }
+    return data, walls
+
+
+def short_name(test: str) -> str:
+    return test.split("::")[-1]
+
+
+def compare(base_path: str, new_path: str, threshold: float,
+            annotate: bool) -> List[str]:
+    """Print the diff table; return the list of regressed test names."""
+    base_meta, base = load_walls(base_path)
+    new_meta, new = load_walls(new_path)
+    print(f"base: {base_path}  ({base_meta.get('timestamp', '?')}, "
+          f"scale={base_meta.get('scale', '?')})")
+    print(f"new:  {new_path}  ({new_meta.get('timestamp', '?')}, "
+          f"scale={new_meta.get('scale', '?')})")
+    if base_meta.get("scale") != new_meta.get("scale"):
+        print("scales differ -- refusing to compare wall times")
+        return []
+
+    regressions = []
+    shared = sorted(set(base) & set(new))
+    if not shared:
+        print("no tests in common")
+        return []
+    width = max(len(short_name(t)) for t in shared)
+    print(f"{'test':<{width}}  {'base s':>8}  {'new s':>8}  {'delta':>7}")
+    for test in shared:
+        b, n = base[test], new[test]
+        delta = (n - b) / b if b > 0 else 0.0
+        marker = ""
+        if b > 0 and delta > threshold:
+            marker = "  << REGRESSION"
+            regressions.append(test)
+            if annotate:
+                print(f"::warning title=bench regression::{test} "
+                      f"wall {b:.2f}s -> {n:.2f}s (+{delta:.0%})")
+        elif b > 0 and delta < -threshold:
+            marker = "  (improved)"
+        print(f"{short_name(test):<{width}}  {b:>8.3f}  {n:>8.3f}  "
+              f"{delta:>+6.0%}{marker}")
+    for test in sorted(set(new) - set(base)):
+        print(f"{short_name(test):<{width}}  {'-':>8}  "
+              f"{new[test]:>8.3f}     new")
+    for test in sorted(set(base) - set(new)):
+        print(f"{short_name(test):<{width}}  {base[test]:>8.3f}  "
+              f"{'-':>8}     gone")
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff the two most recent BENCH_*.json snapshots"
+    )
+    parser.add_argument(
+        "locations", nargs="*", default=None, metavar="PATH",
+        help="files or directories to search (default: repo root "
+             "and bench-artifacts/)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="relative wall-time increase flagged as a regression "
+             "(default 0.20)",
+    )
+    parser.add_argument(
+        "--github", action="store_true",
+        help="emit ::warning annotations for regressions",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when regressions are found (default: always 0, "
+             "for non-blocking CI)",
+    )
+    args = parser.parse_args(argv)
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    locations = args.locations or [root, os.path.join(root, "bench-artifacts")]
+    snapshots = collect_snapshots(locations)
+    if len(snapshots) < 2:
+        print(f"found {len(snapshots)} snapshot(s) in {locations}; "
+              "need two to compare -- nothing to do")
+        return 0
+    regressions = compare(snapshots[-2], snapshots[-1], args.threshold,
+                          annotate=args.github)
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}")
+        return 1 if args.strict else 0
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

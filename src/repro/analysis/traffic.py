@@ -7,7 +7,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.partition import OneDPartition
+from repro.partition import OneDPartition, cached_partition
 from repro.sparse.matrix import COOMatrix
 
 __all__ = [
@@ -52,7 +52,7 @@ def transfer_redundancy(
     partition: Optional[OneDPartition] = None,
 ) -> RedundancyStats:
     """Count useful / SA / SU property transfers under 1D partitioning."""
-    part = partition or OneDPartition(matrix, n_nodes)
+    part = partition or cached_partition(matrix, n_nodes)
     traces = part.node_traces()
     useful = sum(t.unique_remote_count() for t in traces)
     sa = sum(int(t.remote.sum()) for t in traces)
@@ -73,7 +73,7 @@ def destination_locality(
     (Table 4's temporal remote destination locality)."""
     if window < 1:
         raise ValueError("window must be positive")
-    part = partition or OneDPartition(matrix, n_nodes)
+    part = partition or cached_partition(matrix, n_nodes)
     uniq = []
     for tr in part.node_traces():
         dests = tr.remote_owners
@@ -97,7 +97,7 @@ def rack_sharing_fraction(
     """
     if n_nodes % nodes_per_rack:
         raise ValueError("n_nodes must be a multiple of nodes_per_rack")
-    part = partition or OneDPartition(matrix, n_nodes)
+    part = partition or cached_partition(matrix, n_nodes)
     shared = 0
     total = 0
     n_racks = n_nodes // nodes_per_rack
@@ -107,7 +107,7 @@ def rack_sharing_fraction(
         idx_count: Dict[int, int] = {}
         member_uniques = []
         for node in members:
-            uniq = np.unique(traces[node].remote_idxs)
+            uniq = traces[node].remote_unique
             member_uniques.append(uniq)
             for idx in uniq.tolist():
                 idx_count[idx] = idx_count.get(idx, 0) + 1
@@ -127,7 +127,7 @@ def working_set_sizes(
     """Per-rack remote working set in bytes — what a Property Cache
     would need to hold everything the rack ever fetches (sizes Fig 18's
     saturation point)."""
-    part = partition or OneDPartition(matrix, n_nodes)
+    part = partition or cached_partition(matrix, n_nodes)
     traces = part.node_traces()
     n_racks = n_nodes // nodes_per_rack
     sizes = np.zeros(n_racks)

@@ -21,7 +21,7 @@ from typing import Optional
 import numpy as np
 
 from repro.config import NetSparseConfig
-from repro.partition import OneDPartition
+from repro.partition import OneDPartition, cached_partition
 from repro.results import CommResult
 
 __all__ = ["HybridSplit", "choose_threshold", "simulate_hybrid"]
@@ -39,11 +39,18 @@ class HybridSplit:
 
 
 def _column_fanout(part: OneDPartition) -> np.ndarray:
-    """For each column, how many *other* nodes need it at least once."""
+    """For each column, how many *other* nodes need it at least once.
+
+    Memoized on the partition: threshold tuning recomputes the same
+    fan-out for every candidate, and traces never change once built.
+    """
+    fanout = getattr(part, "_column_fanout", None)
+    if fanout is not None:
+        return fanout
     fanout = np.zeros(part.matrix.n_cols, dtype=np.int64)
     for tr in part.node_traces():
-        uniq = np.unique(tr.remote_idxs)
-        fanout[uniq] += 1
+        fanout[tr.remote_unique] += 1
+    part._column_fanout = fanout
     return fanout
 
 
@@ -57,15 +64,14 @@ def split_columns(
 ) -> HybridSplit:
     """Split columns by fan-out: popular ones ride collectives."""
     config = config or NetSparseConfig()
-    part = partition or OneDPartition(matrix, n_nodes)
+    part = partition or cached_partition(matrix, n_nodes)
     payload = config.property_bytes(k)
     fanout = _column_fanout(part)
     su_cols = fanout > threshold
 
     sa_prs = np.zeros(n_nodes, dtype=np.int64)
     for node, tr in enumerate(part.node_traces()):
-        uniq = np.unique(tr.remote_idxs)
-        sa_prs[node] = int((~su_cols[uniq]).sum())
+        sa_prs[node] = int((~su_cols[tr.remote_unique]).sum())
 
     return HybridSplit(
         threshold=threshold,
@@ -94,7 +100,7 @@ def simulate_hybrid(
     config = config or NetSparseConfig()
     n = config.n_nodes
     payload = config.property_bytes(k)
-    part = OneDPartition(matrix, n)
+    part = cached_partition(matrix, n)
     if threshold is None:
         threshold = choose_threshold(matrix, k, config, part)
     split = split_columns(matrix, n, threshold, k, config, part)
@@ -117,8 +123,7 @@ def simulate_hybrid(
     useful = np.zeros(n)
     recv = np.zeros(n)
     for node, tr in enumerate(part.node_traces()):
-        uniq = np.unique(tr.remote_idxs)
-        useful[node] = uniq.size * payload
+        useful[node] = tr.unique_remote_count() * payload
         recv[node] = split.su_bytes_per_node + (
             split.sa_prs_per_node[node] * payload
         )
@@ -156,7 +161,7 @@ def choose_threshold(
     """
     config = config or NetSparseConfig()
     n = config.n_nodes
-    part = partition or OneDPartition(matrix, n)
+    part = partition or cached_partition(matrix, n)
     payload = config.property_bytes(k)
     pr_cost = config.sw_pr_cost(payload)
     best_threshold, best_time = None, float("inf")

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.config import NetSparseConfig
 from repro.results import CommResult
-from repro.partition import OneDPartition
+from repro.partition import cached_partition
 
 __all__ = ["simulate_saopt", "saopt_pr_counts"]
 
@@ -49,7 +49,7 @@ def saopt_pr_counts(
     """
     config = config or NetSparseConfig()
     n, cores = config.n_nodes, config.host_cores
-    part = OneDPartition(matrix, n)
+    part = cached_partition(matrix, n)
     sent = np.zeros((n, cores), dtype=np.int64)
     served = np.zeros((n, cores), dtype=np.int64)
     own_cols = np.diff(part.col_starts)

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.config import NetSparseConfig
 from repro.results import CommResult
-from repro.partition import OneDPartition
+from repro.partition import cached_partition
 
 __all__ = ["simulate_suopt"]
 
@@ -30,7 +30,7 @@ def simulate_suopt(
     config = config or NetSparseConfig()
     n = config.n_nodes
     payload = config.property_bytes(k)
-    part = OneDPartition(matrix, n)
+    part = cached_partition(matrix, n)
 
     own_cols = np.diff(part.col_starts).astype(np.float64)
     recv_bytes = (matrix.n_cols - own_cols) * payload

@@ -17,7 +17,7 @@ from typing import Optional
 
 from repro.config import NetSparseConfig
 from repro.core.protocol import sa_pair_header_bytes
-from repro.partition import OneDPartition
+from repro.partition import cached_partition
 
 __all__ = ["VanillaSaResult", "vanilla_sa_transfer"]
 
@@ -52,7 +52,7 @@ def vanilla_sa_transfer(
     """Model the 2-node vanilla-SA measurement of Table 2."""
     config = config or NetSparseConfig()
     payload = config.property_bytes(k)
-    part = OneDPartition(matrix, n_nodes)
+    part = cached_partition(matrix, n_nodes)
     traces = part.node_traces()
 
     total_nnz = sum(t.n_nonzeros for t in traces)

@@ -165,6 +165,18 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_engine_summary(engine) -> None:
+    from repro.partition import get_trace_cache
+
+    print(f"[engine] {engine.stats.summary()}")
+    tc = get_trace_cache().stats()
+    print(
+        f"[trace-cache] entries={tc['entries']}/{tc['max_entries']} "
+        f"hits={tc['hits']} misses={tc['misses']} "
+        f"evictions={tc['evictions']}"
+    )
+
+
 def _cache_main(args) -> int:
     from repro.parallel import ResultCache
 
@@ -307,7 +319,7 @@ def _main(argv=None) -> int:
         with open(args.output, "w") as fh:
             fh.write(text)
         print(f"wrote {args.output}")
-        print(f"[engine] {engine.stats.summary()}")
+        _print_engine_summary(engine)
         return 0
 
     targets = (
@@ -323,7 +335,7 @@ def _main(argv=None) -> int:
         print(table.format())
         print(f"[{time.time() - t0:.1f}s]")
         print()
-    print(f"[engine] {engine.stats.summary()}")
+    _print_engine_summary(engine)
     return 0
 
 

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.accel.spade import SpadeConfig, spmm_compute_time
 from repro.results import CommResult
-from repro.partition import OneDPartition
+from repro.partition import cached_partition
 
 __all__ = ["EndToEndResult", "end_to_end_time", "single_node_time",
            "per_node_compute_times"]
@@ -51,7 +51,7 @@ def per_node_compute_times(
     matrix, k: int, n_nodes: int, accel: SpadeConfig = SpadeConfig()
 ) -> np.ndarray:
     """Compute time of each node's partition on the accelerator model."""
-    part = OneDPartition(matrix, n_nodes)
+    part = cached_partition(matrix, n_nodes)
     times = np.zeros(n_nodes)
     for node, tr in enumerate(part.node_traces()):
         unique_cols = int(np.unique(tr.idxs).size) if tr.idxs.size else 0

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.config import NetSparseConfig
 from repro.core.filtering import FilterResult, filter_and_coalesce
-from repro.partition import OneDPartition
+from repro.partition import OneDPartition, cached_partition
 from repro.sparse.matrix import COOMatrix
 
 __all__ = ["DistributedRun", "distributed_spmm", "distributed_spmv",
@@ -89,7 +89,7 @@ def distributed_spmm(
         b = b[:, None]
     if b.shape[0] != matrix.n_cols:
         raise ValueError(f"b must have {matrix.n_cols} rows")
-    part = OneDPartition(matrix, n_nodes)
+    part = cached_partition(matrix, n_nodes)
     vals = (
         matrix.vals
         if matrix.vals is not None
@@ -158,7 +158,7 @@ def distributed_sddmm(
         raise ValueError("u/v row counts must match the matrix")
     if u.shape[1:] != v.shape[1:]:
         raise ValueError("u and v must share K")
-    part = OneDPartition(matrix, n_nodes)
+    part = cached_partition(matrix, n_nodes)
     vals = (
         matrix.vals
         if matrix.vals is not None

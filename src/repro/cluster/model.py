@@ -33,13 +33,15 @@ import numpy as np
 
 from repro import telemetry
 from repro.config import NetSparseConfig
+from repro.core import kernels
 from repro.core.concat import ConcatStats, window_concat
 from repro.core.filtering import filter_and_coalesce
 from repro.core.pcache import PropertyCache
+from repro.core.pcache_fast import property_cache_hits
 from repro.core.rig import rig_generation_time
 from repro.results import CommResult
 from repro.network.topology import Dragonfly, HyperX, LeafSpine, Topology
-from repro.partition import OneDPartition
+from repro.partition import OneDPartition, cached_partition
 
 __all__ = ["build_cluster_topology", "simulate_netsparse", "NetSparseKnobs"]
 
@@ -77,12 +79,16 @@ class NetSparseKnobs:
     cache_inflight_frac: float = 0.03
 
 
-class _DelayedInsertCache:
+class DelayedInsertCache:
     """Property Cache front-end with in-flight response modelling.
 
     A read that misses triggers an insert only ``delay`` stream
     positions later (its response's return).  Duplicate in-flight
     misses both travel (the switch has no MSHR-style coalescing).
+
+    This is the *reference* backend for the cache stage; the default
+    fast path is :func:`repro.core.pcache_fast.property_cache_hits`,
+    golden-tested to reproduce this class bit-for-bit.
     """
 
     def __init__(self, cache: PropertyCache, delay: int):
@@ -104,6 +110,10 @@ class _DelayedInsertCache:
         while pending:
             cache.insert(pending.popleft()[1])
         return hits
+
+
+#: Backwards-compatible alias (pre-rename private name).
+_DelayedInsertCache = DelayedInsertCache
 
 
 def _merge_rack_streams(
@@ -204,7 +214,7 @@ def simulate_netsparse(
     n = config.n_nodes
     feats = config.features
     payload = config.property_bytes(k)
-    part = partition or OneDPartition(matrix, n)
+    part = partition or cached_partition(matrix, n)
     if part.n_nodes != n:
         raise ValueError("partition node count must match the config")
     traces = part.node_traces()
@@ -225,8 +235,8 @@ def simulate_netsparse(
         for node, tr in enumerate(traces):
             remote_idx = tr.remote_idxs
             remote_owner = tr.remote_owners
-            remote_pos = np.nonzero(tr.remote)[0]
-            useful_payload[node] = np.unique(remote_idx).size * payload
+            remote_pos = tr.remote_pos
+            useful_payload[node] = tr.unique_remote_count() * payload
             n_candidates += remote_idx.size
             if feats.rig_offload and remote_idx.size:
                 remote_frac = remote_idx.size / max(tr.n_nonzeros, 1)
@@ -306,16 +316,27 @@ def simulate_netsparse(
 
             # Property Cache at the ToR middle pipes.
             if feats.property_cache and m_idx.size:
-                pcache = PropertyCache(
-                    capacity_bytes=pcache_bytes,
-                    ways=config.pcache_ways,
-                    n_segments=config.pcache_segments,
-                    segment_bytes=config.pcache_min_line,
-                )
-                pcache.configure(max(payload, 1))
                 delay = max(int(knobs.cache_inflight_frac * m_idx.size), 1)
-                front = _DelayedInsertCache(pcache, delay)
-                hits = front.process(m_idx)
+                if kernels.is_fast():
+                    hits, _ = property_cache_hits(
+                        m_idx,
+                        capacity_bytes=pcache_bytes,
+                        ways=config.pcache_ways,
+                        property_bytes=max(payload, 1),
+                        delay=delay,
+                        n_segments=config.pcache_segments,
+                        segment_bytes=config.pcache_min_line,
+                    )
+                else:
+                    pcache = PropertyCache(
+                        capacity_bytes=pcache_bytes,
+                        ways=config.pcache_ways,
+                        n_segments=config.pcache_segments,
+                        segment_bytes=config.pcache_min_line,
+                    )
+                    pcache.configure(max(payload, 1))
+                    front = DelayedInsertCache(pcache, delay)
+                    hits = front.process(m_idx)
                 cache_lookups += int(m_idx.size)
                 cache_hits += int(hits.sum())
             else:

@@ -20,7 +20,37 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["PropertyCache", "SegmentSelector", "CacheStats"]
+__all__ = ["PropertyCache", "SegmentSelector", "CacheStats",
+           "slot_bytes_for", "n_sets_for"]
+
+
+def slot_bytes_for(property_bytes: int, n_segments: int = 32,
+                   segment_bytes: int = 16) -> int:
+    """Bytes one line slot occupies for a configured property size.
+
+    The single source of truth shared by :meth:`PropertyCache.configure`
+    and the array kernel in :mod:`repro.core.pcache_fast` — a property
+    is rounded up to a power-of-two number of segments, and properties
+    larger than the maximum line are tiled across whole lines (§6.2.2).
+    """
+    if property_bytes < 1:
+        raise ValueError("property size must be positive")
+    max_line = n_segments * segment_bytes
+    if property_bytes > max_line:
+        return max_line * (-(-property_bytes // max_line))
+    needed = -(-property_bytes // segment_bytes)
+    segs = 1
+    while segs < needed:
+        segs *= 2
+    return segs * segment_bytes
+
+
+def n_sets_for(capacity_bytes: int, ways: int, property_bytes: int,
+               n_segments: int = 32, segment_bytes: int = 16) -> int:
+    """Number of cache sets a :class:`PropertyCache` will have once
+    configured for ``property_bytes`` — without allocating one."""
+    slot = slot_bytes_for(property_bytes, n_segments, segment_bytes)
+    return max((capacity_bytes // slot) // ways, 0)
 
 
 @dataclass
@@ -135,18 +165,15 @@ class PropertyCache:
         if property_bytes < 1:
             raise ValueError("property size must be positive")
         max_line = self.selector.n_segments * self.selector.segment_bytes
-        if property_bytes > max_line:
-            self.selector.configure(max_line)
-            n_lines_per_property = -(-property_bytes // max_line)
-            self.slot_bytes = max_line * n_lines_per_property
-        else:
-            self.selector.configure(property_bytes)
-            self.slot_bytes = (
-                self.selector.segments_per_property
-                * self.selector.segment_bytes
-            )
-        n_slots = self.capacity_bytes // self.slot_bytes
-        self.n_sets = max(n_slots // self.ways, 0)
+        self.selector.configure(min(property_bytes, max_line))
+        self.slot_bytes = slot_bytes_for(
+            property_bytes, self.selector.n_segments,
+            self.selector.segment_bytes,
+        )
+        self.n_sets = n_sets_for(
+            self.capacity_bytes, self.ways, property_bytes,
+            self.selector.n_segments, self.selector.segment_bytes,
+        )
         # One OrderedDict-like plain dict per set: insertion order is
         # LRU order (move-to-end on touch).  Python dicts preserve
         # insertion order, so this is an exact, fast LRU.

@@ -16,12 +16,12 @@ Provides both fidelity levels used by the reproduction:
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Set
 
 import numpy as np
 
+from repro.core import kernels
 from repro.sim import Simulator, Store
 
 __all__ = [
@@ -32,17 +32,22 @@ __all__ = [
     "rig_generation_time",
 ]
 
-_request_ids = itertools.count()
-
 
 @dataclass
 class ReadPR:
-    """A read property request on the wire."""
+    """A read property request on the wire.
+
+    ``request_id`` is drawn from the owning :class:`Simulator`'s
+    counter (see :meth:`Simulator.next_request_id`), so ids are
+    deterministic per DES run — not dependent on what other
+    simulations the process executed before (the old module-global
+    ``itertools.count`` leaked state across runs and test orders).
+    """
 
     idx: int
     src_node: int
     src_tid: int
-    request_id: int = field(default_factory=lambda: next(_request_ids))
+    request_id: int = 0
 
 
 @dataclass
@@ -122,7 +127,8 @@ class RigClientUnit:
                 continue
             while len(self.pending) >= self.pending_entries:
                 yield self._slot_free  # structural stall (§5.3)
-            pr = ReadPR(idx=idx, src_node=self.node, src_tid=self.unit_id)
+            pr = ReadPR(idx=idx, src_node=self.node, src_tid=self.unit_id,
+                        request_id=self.sim.next_request_id())
             self.pending[idx] = pr
             self.stats_issued += 1
             if self.latency_probe is not None:
@@ -217,6 +223,24 @@ def rig_generation_time(
         raise ValueError("n_units and batch_size must be positive")
     if policy not in ("least_loaded", "round_robin"):
         raise ValueError(f"unknown scheduling policy {policy!r}")
+    if kernels.is_fast():
+        return _rig_generation_time_fast(
+            n_idxs, n_units, batch_size, freq, cmd_overhead
+        )
+    return _rig_generation_time_reference(
+        n_idxs, n_units, batch_size, freq, cmd_overhead, policy
+    )
+
+
+def _rig_generation_time_reference(
+    n_idxs: int,
+    n_units: int,
+    batch_size: int,
+    freq: float,
+    cmd_overhead: float,
+    policy: str,
+) -> float:
+    """The original per-batch scheduling loop — reference backend."""
     n_batches = -(-n_idxs // batch_size)
     sizes = np.full(n_batches, batch_size, dtype=np.int64)
     sizes[-1] = n_idxs - batch_size * (n_batches - 1)
@@ -230,4 +254,38 @@ def rig_generation_time(
         )
         start = max(issue_time, unit_free[u])
         unit_free[u] = start + sizes[b] / freq
+    return float(unit_free.max())
+
+
+def _rig_generation_time_fast(
+    n_idxs: int,
+    n_units: int,
+    batch_size: int,
+    freq: float,
+    cmd_overhead: float,
+) -> float:
+    """Per-round vectorized makespan scan, bit-identical to the loop.
+
+    Batches are all ``batch_size`` idxs except the last, so
+    ``least_loaded`` dispatch coincides with round-robin: the units'
+    free times rise in assignment order within a round, and whenever
+    ``argmin`` faces a tie the competing slots hold *equal* durations,
+    leaving the multiset of free times — and its maximum — unchanged
+    whichever unit wins.  That makes one schedule serve both policies,
+    and it evaluates as a max-plus scan: round ``r`` updates every
+    unit's free time with one elementwise ``max`` and one add — the
+    same two float roundings, in the same order, as the reference
+    recurrence ``free = max(issue, free) + dur``.
+    """
+    n_batches = -(-n_idxs // batch_size)
+    b = np.arange(n_batches, dtype=np.float64)
+    issue = (b + 1.0) * cmd_overhead
+    dur = np.full(n_batches, np.float64(batch_size) / freq)
+    dur[-1] = np.float64(n_idxs - batch_size * (n_batches - 1)) / freq
+    unit_free = np.zeros(n_units)
+    for r in range(0, n_batches, n_units):
+        hi = min(r + n_units, n_batches)
+        k = hi - r
+        np.maximum(issue[r:hi], unit_free[:k], out=unit_free[:k])
+        unit_free[:k] += dur[r:hi]
     return float(unit_free.max())

@@ -18,7 +18,7 @@ from repro.config import NetSparseConfig
 from repro.dessim.components import SerialLink
 from repro.dessim.nic import DesHostNic
 from repro.dessim.switch import DesSpine, DesToR
-from repro.partition import OneDPartition
+from repro.partition import cached_partition
 from repro.sim import Simulator
 
 __all__ = ["DesCluster", "DesResult", "run_des_gather"]
@@ -219,7 +219,7 @@ def run_des_gather(
     """Partition ``matrix`` over a small DES cluster and gather all
     remote properties that its nonzeros reference."""
     n_nodes = n_racks * nodes_per_rack
-    part = OneDPartition(matrix, n_nodes)
+    part = cached_partition(matrix, n_nodes)
     cluster = DesCluster(
         n_racks=n_racks,
         nodes_per_rack=nodes_per_rack,

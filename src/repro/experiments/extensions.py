@@ -25,7 +25,7 @@ from repro.core.concat import DelayQueueConcatenator
 from repro.dessim import run_des_gather
 from repro.experiments.runner import ExpTable, experiment
 from repro.parallel import SimJob, simulate, simulate_many
-from repro.partition import OneDPartition
+from repro.partition import cached_partition
 from repro.sim import Simulator
 from repro.sparse.spgemm import spgemm_comm_analysis
 from repro.sparse.suite import (
@@ -44,7 +44,7 @@ def run_sharing(scale: str = "small", n_nodes: int = 128,
     rows = []
     for name in MATRIX_NAMES:
         mat = load_benchmark(name, scale)
-        part = OneDPartition(mat, n_nodes)
+        part = cached_partition(mat, n_nodes)
         frac = rack_sharing_fraction(mat, n_nodes, nodes_per_rack,
                                      partition=part)
         ws = working_set_sizes(mat, n_nodes, nodes_per_rack,
@@ -275,7 +275,7 @@ def run_cache_policy(scale: str = "small", k: int = 16) -> ExpTable:
     for name in ("arabic", "uk", "queen"):
         mat = load_benchmark(name, scale)
         sc = scale_factor(name, mat)
-        part = OneDPartition(mat, cfg.n_nodes)
+        part = cached_partition(mat, cfg.n_nodes)
         traces = part.node_traces()
         # Rack 0's merged stream (the trace model's cache input).
         members = range(cfg.nodes_per_rack)
@@ -442,12 +442,11 @@ def run_latency_profile() -> ExpTable:
     """Per-PR round-trip latency percentiles from the packet-level DES
     (extension: the trace model is throughput-only)."""
     from repro.dessim import DesCluster
-    from repro.partition import OneDPartition as _P
 
     rows = []
     for name in ("arabic", "queen"):
         mat = load_benchmark(name, "tiny")
-        part = _P(mat, 8)
+        part = cached_partition(mat, 8)
         cluster = DesCluster(n_racks=2, nodes_per_rack=4, k=16,
                              n_cols=mat.n_cols,
                              col_owner=part.col_owner.astype("int64"),
@@ -487,8 +486,6 @@ def run_partitioning(scale: str = "small", k: int = 16) -> ExpTable:
     swaps in a nonzero-balanced contiguous partition and measures what
     it recovers.
     """
-    from repro.partition import OneDPartition as _OneD, balanced_by_nnz
-
     cfg = NetSparseConfig()
     rows = []
     for name in MATRIX_NAMES:
@@ -498,8 +495,8 @@ def run_partitioning(scale: str = "small", k: int = 16) -> ExpTable:
         imbalance = {}
         e2e = {}
         for label, part in (
-            ("rows", _OneD(mat, cfg.n_nodes)),
-            ("nnz", balanced_by_nnz(mat, cfg.n_nodes)),
+            ("rows", cached_partition(mat, cfg.n_nodes)),
+            ("nnz", cached_partition(mat, cfg.n_nodes, kind="nnz")),
         ):
             nnz = part.node_nnz()
             imbalance[label] = float(nnz.max() / max(nnz.mean(), 1))

@@ -9,7 +9,7 @@ from repro.baselines.vanilla import vanilla_sa_transfer
 from repro.config import NetSparseConfig
 from repro.core.protocol import header_traffic_fraction
 from repro.experiments.runner import ExpTable, experiment
-from repro.partition import OneDPartition
+from repro.partition import cached_partition
 from repro.sparse.suite import MATRIX_NAMES, load_benchmark
 
 PAPER_TABLE1_SU = {"arabic": 1947, "europe": 582, "queen": 74,
@@ -26,7 +26,7 @@ def run_table1(scale: str = "small", n_nodes: int = 128) -> ExpTable:
     rows = []
     for name in MATRIX_NAMES:
         mat = load_benchmark(name, scale)
-        part = OneDPartition(mat, n_nodes)
+        part = cached_partition(mat, n_nodes)
         traces = part.node_traces()
         remote = sum(int(t.remote.sum()) for t in traces)
         useful = sum(t.unique_remote_count() for t in traces)
@@ -108,7 +108,7 @@ def run_table4(scale: str = "small", n_nodes: int = 128) -> ExpTable:
     rows = []
     for name in MATRIX_NAMES:
         mat = load_benchmark(name, scale)
-        part = OneDPartition(mat, n_nodes)
+        part = cached_partition(mat, n_nodes)
         uniq = []
         for tr in part.node_traces():
             d = tr.remote_owners

@@ -113,6 +113,8 @@ class ExecutionEngine:
     def _execute(self, pending: Dict[str, SimJob]) -> None:
         items = list(pending.items())
         if self.jobs > 1 and len(items) > 1:
+            if self._pool is None:
+                self._prewarm_traces([job for _, job in items])
             # Worker processes carry their own (disabled) telemetry —
             # `netsparse profile` therefore always runs serial.
             pool = self._ensure_pool()
@@ -130,6 +132,35 @@ class ExecutionEngine:
             if self.cache is not None:
                 self.cache.put(digest, result, meta=job.describe(),
                                elapsed=elapsed)
+
+    @staticmethod
+    def _prewarm_traces(jobs: Sequence[SimJob]) -> None:
+        """Build the batch's distinct partitions + traces in the parent
+        *before* the pool forks, so workers inherit the TraceCache
+        entries copy-on-write instead of each rebuilding them.  Only
+        worth doing for the fork that creates the pool; bounded by the
+        cache size so prewarming never evicts what it just built."""
+        from repro.partition import get_trace_cache
+        from repro.sparse.suite import load_benchmark
+
+        trace_cache = get_trace_cache()
+        seen = set()
+        for job in jobs:
+            kind = (
+                "nnz"
+                if job.scheme == "netsparse" and job.partition == "nnz"
+                else "rows"
+            )
+            key = (job.matrix, job.scale_name, job.seed,
+                   job.config.n_nodes, kind)
+            if key in seen:
+                continue
+            if len(seen) >= trace_cache.max_entries:
+                break
+            seen.add(key)
+            mat = load_benchmark(job.matrix, job.scale_name, seed=job.seed)
+            trace_cache.get_partition(mat, job.config.n_nodes, kind=kind)
+            telemetry.count("perf.trace_cache.prewarmed")
 
     @staticmethod
     def _timed_instrumented(job: SimJob):

@@ -124,16 +124,36 @@ class SimJob:
         }
 
 
+#: Process-level fabric memo.  A topology is immutable during
+#: simulation (the model only reads routes/racks/link bandwidths), and
+#: sharing one instance across a sweep also shares its route cache —
+#: routes for a 128-node fabric are recomputed once per process instead
+#: of once per job.
+_topology_cache: dict = {}
+_TOPOLOGY_CACHE_MAX = 16
+
+
 def _build_topology(job: SimJob):
     from repro.cluster import build_cluster_topology
     from repro.network.topology import LeafSpine
 
+    cfg = job.config
+    key = (job.topology, cfg.topology, cfg.n_racks, cfg.nodes_per_rack,
+           cfg.link_bandwidth)
+    topo = _topology_cache.get(key)
+    if topo is not None:
+        return topo
     if job.topology is None:
-        return build_cluster_topology(job.config)
-    _, n_racks, nodes_per_rack, n_spines = job.topology
-    return LeafSpine(n_racks=n_racks, nodes_per_rack=nodes_per_rack,
-                     n_spines=n_spines,
-                     link_bandwidth=job.config.link_bandwidth)
+        topo = build_cluster_topology(cfg)
+    else:
+        _, n_racks, nodes_per_rack, n_spines = job.topology
+        topo = LeafSpine(n_racks=n_racks, nodes_per_rack=nodes_per_rack,
+                         n_spines=n_spines,
+                         link_bandwidth=cfg.link_bandwidth)
+    if len(_topology_cache) >= _TOPOLOGY_CACHE_MAX:
+        _topology_cache.clear()
+    _topology_cache[key] = topo
+    return topo
 
 
 def execute_job(job: SimJob):
@@ -148,7 +168,7 @@ def execute_job(job: SimJob):
     from repro.baselines.saopt import simulate_saopt
     from repro.baselines.su import simulate_suopt
     from repro.cluster import simulate_netsparse
-    from repro.partition import balanced_by_nnz
+    from repro.partition import cached_partition
     from repro.sparse.suite import load_benchmark, scale_factor
 
     mat = load_benchmark(job.matrix, job.scale_name, seed=job.seed)
@@ -163,7 +183,8 @@ def execute_job(job: SimJob):
             result = simulate_hybrid(mat, job.k, cfg, scale=sc)
         else:
             part = (
-                balanced_by_nnz(mat, cfg.n_nodes) if job.partition == "nnz"
+                cached_partition(mat, cfg.n_nodes, kind="nnz")
+                if job.partition == "nnz"
                 else None
             )
             result = simulate_netsparse(mat, job.k, cfg, _build_topology(job),

@@ -1,5 +1,19 @@
 """1D partitioning of matrices and property arrays across cluster nodes."""
 
-from repro.partition.oned import OneDPartition, balanced_by_nnz
+from repro.partition.oned import NodeTrace, OneDPartition, balanced_by_nnz
+from repro.partition.tracecache import (
+    TraceCache,
+    cached_partition,
+    get_trace_cache,
+    set_trace_cache,
+)
 
-__all__ = ["OneDPartition", "balanced_by_nnz"]
+__all__ = [
+    "NodeTrace",
+    "OneDPartition",
+    "TraceCache",
+    "balanced_by_nnz",
+    "cached_partition",
+    "get_trace_cache",
+    "set_trace_cache",
+]

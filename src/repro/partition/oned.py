@@ -12,6 +12,7 @@ are the Property Requests the entire paper is about.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import List, Optional
 
 import numpy as np
@@ -28,6 +29,11 @@ class NodeTrace:
     ``idxs``   — column index (= property index) of each local nonzero.
     ``owner``  — owning node of each idx.
     ``remote`` — boolean mask: the idx is owned by another node.
+
+    The derived views (``remote_idxs`` etc.) are cached: a trace is
+    immutable once built, and every scheme walking a shared
+    :class:`~repro.partition.tracecache.TraceCache` entry re-reads the
+    same selections.
     """
 
     node: int
@@ -39,18 +45,28 @@ class NodeTrace:
     def n_nonzeros(self) -> int:
         return int(self.idxs.size)
 
-    @property
+    @cached_property
     def remote_idxs(self) -> np.ndarray:
         return self.idxs[self.remote]
 
-    @property
+    @cached_property
     def remote_owners(self) -> np.ndarray:
         return self.owner[self.remote]
+
+    @cached_property
+    def remote_pos(self) -> np.ndarray:
+        """Scan positions (within ``idxs``) of the remote nonzeros."""
+        return np.nonzero(self.remote)[0]
+
+    @cached_property
+    def remote_unique(self) -> np.ndarray:
+        """Sorted distinct remote idxs (the node's true working set)."""
+        return np.unique(self.remote_idxs)
 
     def unique_remote_count(self) -> int:
         if not self.remote.any():
             return 0
-        return int(np.unique(self.remote_idxs).size)
+        return int(self.remote_unique.size)
 
 
 class OneDPartition:
@@ -96,6 +112,7 @@ class OneDPartition:
         self.row_owner_of = np.searchsorted(
             self.row_starts, np.arange(matrix.n_rows), side="right"
         ) - 1
+        self._traces: Optional[List[NodeTrace]] = None
 
     @staticmethod
     def _block_starts(n: int, parts: int) -> np.ndarray:
@@ -118,11 +135,15 @@ class OneDPartition:
         return np.bincount(row_owner, minlength=self.n_nodes)
 
     def node_traces(self) -> List[NodeTrace]:
-        """Build every node's nonzero scan trace in row-major order.
+        """Every node's nonzero scan trace in row-major order.
 
         This is the idx stream a node's cores (software SA) or RIG Units
         (NetSparse) walk through; all communication analyses start here.
+        Built once per partition instance and memoized — traces are
+        immutable, and sweeps revisit them for every scheme/knob point.
         """
+        if self._traces is not None:
+            return self._traces
         mat = self.matrix
         order = np.argsort(mat.rows * mat.n_cols + mat.cols, kind="stable")
         rows_sorted = mat.rows[order]
@@ -135,6 +156,7 @@ class OneDPartition:
             owner = self.col_owner[idxs]
             remote = owner != node
             traces.append(NodeTrace(node, idxs, owner, remote))
+        self._traces = traces
         return traces
 
     # -- distributed property array helpers ---------------------------

@@ -1,0 +1,178 @@
+"""Process-level memoization of partitions and their scan traces.
+
+Every scheme in a sweep — NetSparse, the software baselines, the
+traffic analyses — starts from the same object: a 1D partition of a
+matrix and its per-node idx scan traces.  Building one costs an
+``argsort`` over the nonzeros plus per-node selections, and a knob grid
+rebuilds it hundreds of times for identical inputs.  The
+:class:`TraceCache` shares one build per (matrix structure, node count,
+partition rule) across the whole process.
+
+Keying and invalidation rules (also documented in ``docs/api.md``):
+
+- The matrix key is :meth:`repro.sparse.matrix.COOMatrix.structural_digest`
+  — shape plus nonzero coordinates.  Values and the display name are
+  excluded because traces depend only on structure, so two matrices
+  with the same sparsity pattern share an entry by design.
+- ``kind`` names the partition rule: ``"rows"`` (equal row blocks,
+  the :class:`~repro.partition.oned.OneDPartition` default) or
+  ``"nnz"`` (:func:`~repro.partition.oned.balanced_by_nnz`).  Explicit
+  ``row_starts`` are keyed by their own byte digest.
+- Entries are never stale: a partition is a pure function of its key,
+  and :class:`~repro.partition.oned.NodeTrace` objects are immutable.
+  Fault-injected runs (``faults=``) perturb *simulation* behaviour, not
+  the partition, so they share cache entries safely — the seeded fault
+  processes draw from the result, never mutate the traces.
+- The cache is bounded (LRU on entry count) because medium-scale trace
+  sets run to hundreds of MB; evictions only cost a rebuild.
+
+Workers forked by :class:`repro.parallel.engine.ExecutionEngine`
+inherit whatever the parent already cached (fork start method shares
+pages copy-on-write); each worker then fills its own copy for the
+matrices it draws.
+
+Counters are exported as ``perf.trace_cache.hits`` / ``.misses`` /
+``.evictions`` through :mod:`repro.telemetry`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.partition.oned import OneDPartition, balanced_by_nnz
+from repro.sparse.matrix import COOMatrix
+
+__all__ = [
+    "TraceCache",
+    "cached_partition",
+    "get_trace_cache",
+    "set_trace_cache",
+]
+
+#: Default number of (matrix, n_nodes, rule) entries kept alive.
+DEFAULT_MAX_ENTRIES = 8
+
+
+class TraceCache:
+    """Bounded LRU of built :class:`OneDPartition` objects.
+
+    ``get_partition`` returns a partition whose ``node_traces()`` are
+    memoized on the instance, so a hit also reuses the trace arrays and
+    every :class:`~repro.partition.oned.NodeTrace` cached property.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, OneDPartition]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _rule_key(kind: str, row_starts: Optional[np.ndarray]) -> str:
+        if row_starts is not None:
+            digest = hashlib.blake2b(
+                np.ascontiguousarray(row_starts, dtype=np.int64).tobytes(),
+                digest_size=8,
+            ).hexdigest()
+            return f"explicit:{digest}"
+        if kind not in ("rows", "nnz"):
+            raise ValueError(
+                f"unknown partition kind {kind!r}; use 'rows' or 'nnz'"
+            )
+        return kind
+
+    def get_partition(
+        self,
+        matrix: COOMatrix,
+        n_nodes: int,
+        kind: str = "rows",
+        row_starts: Optional[np.ndarray] = None,
+    ) -> OneDPartition:
+        """The cached partition for ``matrix`` under the given rule,
+        building (and tracing) it on first use."""
+        key = (matrix.structural_digest(), int(n_nodes),
+               self._rule_key(kind, row_starts))
+        with self._lock:
+            part = self._entries.get(key)
+            if part is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                telemetry.count("perf.trace_cache.hits", kind=key[2])
+                return part
+            self.misses += 1
+        telemetry.count("perf.trace_cache.misses", kind=key[2])
+        # Build outside the lock: trace construction is the expensive
+        # part, and a duplicate build on a race is merely wasted work.
+        if row_starts is not None:
+            part = OneDPartition(matrix, n_nodes, row_starts=row_starts)
+        elif kind == "nnz":
+            part = balanced_by_nnz(matrix, n_nodes)
+        else:
+            part = OneDPartition(matrix, n_nodes)
+        part.node_traces()
+        with self._lock:
+            self._entries[key] = part
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                telemetry.count("perf.trace_cache.evictions")
+        return part
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were held."""
+        with self._lock:
+            n = len(self._entries)
+            self._entries.clear()
+        return n
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        """Counter snapshot for CLI / engine reporting."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+_global_cache = TraceCache()
+
+
+def get_trace_cache() -> TraceCache:
+    """The process-wide cache used by the model, baselines and engine."""
+    return _global_cache
+
+
+def set_trace_cache(cache: TraceCache) -> TraceCache:
+    """Swap the process-wide cache (tests, memory-constrained runs);
+    returns the previous one."""
+    global _global_cache
+    previous, _global_cache = _global_cache, cache
+    return previous
+
+
+def cached_partition(
+    matrix: COOMatrix,
+    n_nodes: int,
+    kind: str = "rows",
+    row_starts: Optional[np.ndarray] = None,
+) -> OneDPartition:
+    """Convenience front door onto :func:`get_trace_cache`."""
+    return _global_cache.get_partition(
+        matrix, n_nodes, kind=kind, row_starts=row_starts
+    )

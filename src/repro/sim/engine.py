@@ -259,6 +259,19 @@ class Simulator:
         self._seq = 0
         self.now: float = 0.0
         self._n_dispatched = 0
+        self._next_request_id = 0
+
+    def next_request_id(self) -> int:
+        """Monotone id counter scoped to this simulator.
+
+        Components that tag wire messages (e.g. the RIG units'
+        :class:`~repro.core.rig.ReadPR`) draw ids here so a run's ids
+        start at 0 and depend only on that run's event order — never on
+        other simulations the process ran earlier.
+        """
+        rid = self._next_request_id
+        self._next_request_id += 1
+        return rid
 
     # -- scheduling ---------------------------------------------------
 

@@ -14,7 +14,8 @@ keeping structure-only matrices halves memory for the large traces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -37,6 +38,11 @@ class COOMatrix:
     cols: np.ndarray
     vals: Optional[np.ndarray] = None
     name: str = ""
+    #: Lazily computed by :meth:`structural_digest`; excluded from
+    #: comparisons so digested and fresh instances still compare equal.
+    _structural_digest: Optional[str] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self):
         self.rows = np.asarray(self.rows, dtype=np.int64)
@@ -59,6 +65,22 @@ class COOMatrix:
     @property
     def shape(self) -> tuple:
         return (self.n_rows, self.n_cols)
+
+    def structural_digest(self) -> str:
+        """Hex digest of the matrix *structure* (shape + coordinates).
+
+        Values and name are deliberately excluded: every communication
+        analysis depends only on which coordinates are nonzero.  The
+        digest is computed once and cached on the instance — it keys
+        the :class:`repro.partition.tracecache.TraceCache`.
+        """
+        if self._structural_digest is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(np.array([self.n_rows, self.n_cols], dtype=np.int64).tobytes())
+            h.update(np.ascontiguousarray(self.rows).tobytes())
+            h.update(np.ascontiguousarray(self.cols).tobytes())
+            self._structural_digest = h.hexdigest()
+        return self._structural_digest
 
     def canonicalize(self) -> "COOMatrix":
         """Return a copy sorted by (row, col) with duplicates removed."""
