@@ -143,8 +143,18 @@ def main(argv=None) -> int:
     locations = args.locations or [root, os.path.join(root, "bench-artifacts")]
     snapshots = collect_snapshots(locations)
     if len(snapshots) < 2:
-        print(f"found {len(snapshots)} snapshot(s) in {locations}; "
-              "need two to compare -- nothing to do")
+        # First run of a fresh checkout (or a cleared artifacts dir):
+        # there is no baseline yet, which is a normal state, not an
+        # error — succeed quietly so CI stays green, and leave a
+        # ::notice so the run explains itself.
+        what = ("no benchmark snapshots" if not snapshots
+                else f"only one snapshot ({snapshots[0]})")
+        msg = (f"{what} under {locations}; no baseline to compare "
+               "against -- skipping (the next run will diff against "
+               "this one)")
+        print(msg)
+        if args.github:
+            print(f"::notice title=bench compare::no baseline: {msg}")
         return 0
     regressions = compare(snapshots[-2], snapshots[-1], args.threshold,
                           annotate=args.github)

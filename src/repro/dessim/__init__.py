@@ -18,6 +18,11 @@ Topology modelled::
     host NIC  <->  ToR (cache + concat)  <->  spines  <->  ToR  <->  host NIC
 """
 
-from repro.dessim.cluster import DesCluster, DesResult, run_des_gather
+from repro.dessim.cluster import (
+    DesCluster,
+    DesResult,
+    run_des_gather,
+    run_des_rounds,
+)
 
-__all__ = ["DesCluster", "DesResult", "run_des_gather"]
+__all__ = ["DesCluster", "DesResult", "run_des_gather", "run_des_rounds"]

@@ -21,6 +21,7 @@ from repro.experiments.runner import (
 # Importing the modules populates the registry.
 from repro.experiments import (  # noqa: F401  (registration side effects)
     ablation,
+    collectives,
     extensions,
     hardware,
     headline,

@@ -1,0 +1,237 @@
+"""Sparse ML collective workloads (ROADMAP item 4).
+
+The paper evaluates NetSparse on one-shot SpMM/SpMV/SDDMM gathers over
+static matrices.  These experiments drive the same substrates with
+training-stack-shaped traffic from :mod:`repro.workloads`:
+
+- ``collectives`` — the analytic cluster model swept over every round
+  of every registered family (SparCML-style sparse allreduce, iterative
+  PageRank SpMV), one :class:`~repro.parallel.SimJob` per (round,
+  scheme) fanned through the execution engine exactly like the
+  benchmark matrices.  Reports per-family speedups, middle-pipe cache
+  hit rates and the cross-round support churn that distinguishes the
+  families.
+- ``collectives_des`` — the packet-level DES substrate run for several
+  consecutive rounds with the ToR Property Cache either flushed between
+  collectives or kept resident (:func:`repro.dessim.run_des_rounds`).
+  The hit-rate gap between the two sweeps is the reuse a persistent
+  switch cache recovers — the Flare-style in-network reduction effect
+  for overlapping gradient supports, and the nested-frontier effect for
+  iterative SpMV.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import NetSparseConfig
+from repro.experiments.runner import ExpTable, experiment
+from repro.parallel import SimJob, simulate_many
+from repro.workloads import (
+    WORKLOADS,
+    load_workload_trace,
+    workload_trace_name,
+)
+
+__all__ = [
+    "run_collectives",
+    "run_collectives_des",
+    "collectives_report",
+    "FAMILIES",
+    "DES_FAMILIES",
+]
+
+#: Analytic sweep covers every registered family, in registry order.
+FAMILIES = ("allreduce_topk", "allreduce_randk", "pagerank",
+            "pagerank_dynamic")
+
+#: DES sweep: one family per kind (packet-level rounds are expensive).
+DES_FAMILIES = ("allreduce_topk", "pagerank")
+
+_SCHEMES = ("netsparse", "saopt", "suopt")
+
+
+def _gmean(values) -> float:
+    arr = np.asarray(list(values), dtype=float)
+    return float(np.exp(np.log(np.maximum(arr, 1e-30)).mean()))
+
+
+def _support_churn(traces) -> float:
+    """Mean fraction of each round's column support absent from the
+    previous round — 0 for nested frontiers, ~1 for resampled ones."""
+    churn = []
+    prev = None
+    for mat in traces:
+        cur = np.unique(mat.cols)
+        if prev is not None and cur.size:
+            new = np.setdiff1d(cur, prev, assume_unique=True).size
+            churn.append(new / cur.size)
+        prev = cur
+    return float(np.mean(churn)) if churn else 0.0
+
+
+@experiment("collectives")
+def run_collectives(scale: str = "small", k: int = 1,
+                    families: Sequence[str] = FAMILIES,
+                    n_rounds: int = 0, seed: int = 7) -> ExpTable:
+    """Per-family speedup over a multi-round collective sweep.
+
+    One job per (family, round, scheme), fanned through the execution
+    engine; ``k=1`` models scalar payloads (a gradient value, a rank).
+    Rows aggregate rounds by geometric mean.  ``n_rounds=0`` uses each
+    family's own round count.
+    """
+    cfg = NetSparseConfig()
+    jobs, keys = [], []
+    rounds_of = {}
+    for fam in families:
+        family = WORKLOADS[fam]
+        rounds_of[fam] = n_rounds or family.n_rounds
+        for r in range(rounds_of[fam]):
+            name = workload_trace_name(fam, r)
+            for s in _SCHEMES:
+                jobs.append(SimJob(
+                    scheme=s, matrix=name, k=k, config=cfg,
+                    scale_name=scale, seed=seed,
+                    rig_batch=(family.default_rig_batch
+                               if s == "netsparse" else None),
+                ))
+                keys.append((fam, r, s))
+    results = dict(zip(keys, simulate_many(jobs)))
+
+    rows = []
+    for fam in families:
+        family = WORKLOADS[fam]
+        n = rounds_of[fam]
+        traces = [load_workload_trace(workload_trace_name(fam, r),
+                                      scale, seed) for r in range(n)]
+        vs_su, vs_sa, hits, fc, ns_times = [], [], [], [], []
+        for r in range(n):
+            ns = results[(fam, r, "netsparse")]
+            sa = results[(fam, r, "saopt")]
+            su = results[(fam, r, "suopt")]
+            vs_su.append(su.total_time / ns.total_time)
+            vs_sa.append(sa.total_time / ns.total_time)
+            hits.append(ns.cache_hit_rate)
+            fc.append(ns.fc_rate)
+            ns_times.append(ns.total_time)
+        rows.append([
+            fam,
+            family.kind,
+            n,
+            int(np.mean([t.nnz for t in traces])),
+            round(_gmean(vs_su), 2),
+            round(_gmean(vs_sa), 2),
+            round(100.0 * float(np.mean(hits)), 1),
+            round(100.0 * float(np.mean(fc)), 1),
+            round(100.0 * _support_churn(traces), 1),
+            round(_gmean(ns_times) * 1e6, 2),
+        ])
+    return ExpTable(
+        exp_id="collectives",
+        title=f"Sparse ML collectives on the cluster model "
+              f"(K={k}, per-round gmean)",
+        columns=["workload", "kind", "rounds", "nnz/round",
+                 "NS/SUOpt x", "NS/SAOpt x", "cache hit %",
+                 "filter+coal %", "churn %", "NS time us"],
+        rows=rows,
+        paper_note="Extension: the paper's workloads are one-shot "
+                   "gathers over static matrices.  Here the same "
+                   "mechanisms serve SparCML-style sparse allreduce "
+                   "(the ToR cache as a Flare-style in-network "
+                   "reduction point) and iterative SpMV with an "
+                   "evolving frontier.",
+        notes=["churn % — mean fraction of a round's column support "
+               "absent from the previous round (0 = nested frontiers, "
+               "100 = fully resampled)."],
+    )
+
+
+@experiment("collectives_des")
+def run_collectives_des(families: Sequence[str] = DES_FAMILIES,
+                        n_rounds: int = 3, k: int = 1,
+                        seed: int = 7) -> ExpTable:
+    """Keep-vs-flush ToR cache across DES rounds (tiny scale only —
+    the DES substrate is packet-level and larger scales take hours)."""
+    from repro.dessim import run_des_rounds
+
+    rows = []
+    for fam in families:
+        traces = [
+            load_workload_trace(name, "tiny", seed)
+            for name in WORKLOADS[fam].round_names(n_rounds)
+        ]
+        flush = run_des_rounds(traces, k=k, keep_cache=False)
+        keep = run_des_rounds(traces, k=k, keep_cache=True)
+
+        def hit_pct(results):
+            lk = sum(r.extras["round_cache"]["lookups"] for r in results)
+            ht = sum(r.extras["round_cache"]["hits"] for r in results)
+            return 100.0 * ht / lk if lk else 0.0
+
+        f_pct, k_pct = hit_pct(flush), hit_pct(keep)
+        rows.append([
+            fam,
+            n_rounds,
+            round(f_pct, 1),
+            round(k_pct, 1),
+            round(k_pct - f_pct, 1),
+            round(sum(r.finish_time for r in flush) * 1e6, 2),
+            round(sum(r.finish_time for r in keep) * 1e6, 2),
+        ])
+    return ExpTable(
+        exp_id="collectives_des",
+        title=f"DES rounds: persistent vs flushed ToR cache "
+              f"(K={k}, tiny)",
+        columns=["workload", "rounds", "flush hit %", "keep hit %",
+                 "gain pp", "flush t us", "keep t us"],
+        rows=rows,
+        paper_note="Extension of §6: the segment cache persists across "
+                   "collective operations instead of being flushed "
+                   "between gathers; the hit-rate gain is the "
+                   "cross-round reuse (persistent top-k hot sets, "
+                   "nested PageRank frontiers) recovered at the "
+                   "middle pipe.",
+        notes=["Delivered property sets are identical in both modes — "
+               "the cache changes where a request is answered, never "
+               "what is delivered."],
+    )
+
+
+def collectives_report(analytic: ExpTable, des: ExpTable) -> str:
+    """Render the two collectives tables as one markdown report."""
+
+    def md(table: ExpTable):
+        lines = [
+            "| " + " | ".join(table.columns) + " |",
+            "|" + "|".join(["---:"] * len(table.columns)) + "|",
+        ]
+        for row in table.rows:
+            lines.append("| " + " | ".join(str(v) for v in row) + " |")
+        return lines
+
+    lines = ["# Sparse ML collective workloads", "",
+             analytic.title + ".", ""]
+    lines += md(analytic)
+    best = max(analytic.rows, key=lambda r: r[4])
+    lines += [
+        "",
+        f"Best analytic speedup: {best[4]}x over SUOpt on `{best[0]}`.",
+        "",
+        des.title + ".",
+        "",
+    ]
+    lines += md(des)
+    gains = {row[0]: row[4] for row in des.rows}
+    lines += [
+        "",
+        "Keep-vs-flush hit-rate gain (percentage points): "
+        + ", ".join(f"`{fam}` +{g}" for fam, g in gains.items()) + ".",
+    ]
+    for t in (analytic, des):
+        if t.paper_note:
+            lines += ["", f"*{t.paper_note}*"]
+    lines.append("")
+    return "\n".join(lines)

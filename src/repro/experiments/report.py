@@ -27,6 +27,7 @@ _ORDER = [
     "fig21", "fig22",
     "sharing", "des_validation", "concat_virtualization", "autotune",
     "spgemm_preview", "iterative", "resilience",
+    "collectives", "collectives_des",
 ]
 
 

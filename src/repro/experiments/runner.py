@@ -122,7 +122,12 @@ def run_schemes(
     mat = load_benchmark(name, scale_name, seed=seed)
     sc = scale_factor(name, mat)
     if rig_batch is None:
-        rig_batch = BENCHMARKS[name].default_rig_batch
+        if name.startswith("wl:"):
+            from repro.workloads import WORKLOADS, parse_trace_name
+
+            rig_batch = WORKLOADS[parse_trace_name(name)[0]].default_rig_batch
+        else:
+            rig_batch = BENCHMARKS[name].default_rig_batch
     out = {}
     if topology is not None:
         if "netsparse" in schemes:

@@ -1,0 +1,57 @@
+"""Sparse ML collective workloads: trace generators for the second
+scenario axis (ROADMAP item 4).
+
+Two built-in families feed the existing cluster model and DES
+substrates with training-stack-shaped traffic:
+
+- **sparse allreduce** (:mod:`repro.workloads.allreduce`) —
+  SparCML-style top-k / random-k gradient exchange, with the ToR
+  middle-pipe Property Cache playing the Flare-style in-network
+  reduction point;
+- **iterative SpMV** (:mod:`repro.workloads.spmv`) — PageRank-style
+  frontier contraction across rounds, plus a dynamic-sparsity mode
+  whose nonzero set changes every iteration.
+
+Every family is a seeded, digest-keyed generator registered in
+:data:`~repro.workloads.base.WORKLOADS`; its rounds are addressable by
+``wl:<family>:r<round>`` trace names anywhere a benchmark-matrix name
+is accepted (``SimJob``, ``load_benchmark``, the CLI), so the
+execution engine, result cache, trace cache, fault plans and telemetry
+all work on workload traffic unchanged.  See ``docs/api.md`` for the
+generator protocol and registration contract.
+"""
+
+from repro.workloads.base import (
+    SCALE_DIMS,
+    TRACE_PREFIX,
+    WORKLOADS,
+    WorkloadFamily,
+    is_workload_trace,
+    list_workloads,
+    load_workload_trace,
+    parse_trace_name,
+    register_workload,
+    trace_digest,
+    workload_rng,
+    workload_scale_factor,
+    workload_trace_name,
+)
+
+# Importing the family modules populates the registry.
+from repro.workloads import allreduce, spmv  # noqa: F401  (side effects)
+
+__all__ = [
+    "SCALE_DIMS",
+    "TRACE_PREFIX",
+    "WORKLOADS",
+    "WorkloadFamily",
+    "is_workload_trace",
+    "list_workloads",
+    "load_workload_trace",
+    "parse_trace_name",
+    "register_workload",
+    "trace_digest",
+    "workload_rng",
+    "workload_scale_factor",
+    "workload_trace_name",
+]

@@ -1,0 +1,149 @@
+"""SparCML-style sparse-allreduce round traces.
+
+Distributed data-parallel training communicates one sparse allreduce of
+gradient contributions per step: each of ``n_workers`` workers holds a
+sparse gradient over a model of dimension ``D`` — its top-k (largest
+magnitudes, heavily overlapping across workers because hot parameters
+are hot everywhere) or random-k (private, near-disjoint) entries — and
+every worker must end the round holding the reduced value of every
+index it contributes (SparCML's reduce-scatter + allgather formulation;
+see PAPERS.md).
+
+Mapping onto the NetSparse substrates: the model dimension is the
+column space, partitioned 1D across nodes exactly like an input
+property array — the *owner* of index ``j`` is the reduction root of
+gradient coordinate ``j``.  Worker ``w``'s support becomes nonzeros in
+its row block, so its per-node scan trace is precisely its gradient
+support and the resulting remote reads are the allgather phase:
+fetching reduced coordinates from their roots.  The ToR middle-pipe
+Property Cache then acts as the Flare-style in-network reduction point
+— the first fetch of a hot coordinate fills the rack's cache and every
+other worker in the rack is served at the switch, which is what an
+in-network-reduction ASIC does for overlapping sparse gradients.
+
+Both selections redraw the noise portion of every worker's support each
+round (gradients change every step — the traces are *dynamic* in the
+UMD adaptive-collectives sense); ``topk`` additionally keeps a
+seed-stable Zipf-hot parameter set that persists across rounds
+(momentum keeps the heavy coordinates heavy), which is exactly the
+cross-round reuse the DES keep-cache sweep measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.matrix import COOMatrix
+from repro.sparse.synthetic import zipf_sample
+from repro.workloads.base import (
+    SCALE_DIMS,
+    WorkloadFamily,
+    register_workload,
+    workload_rng,
+)
+
+__all__ = ["gradient_exchange"]
+
+#: Stream ids inside :func:`repro.workloads.base.workload_rng`.
+_STREAM_HOT = 1          # persistent hot-parameter permutation (round 0)
+_STREAM_SUPPORT = 2      # per-round support noise
+
+
+def gradient_exchange(
+    scale: str,
+    seed: int,
+    round_idx: int,
+    family: str,
+    name: str,
+    selection: str = "topk",
+    n_workers: int = 128,
+    density: float = 0.04,
+    shared_frac: float = 0.7,
+    hot_pool_frac: float = 0.25,
+    hot_alpha: float = 1.1,
+) -> COOMatrix:
+    """One allreduce round as a ``D x D`` trace matrix.
+
+    ``selection`` — ``"topk"`` (shared Zipf-hot coordinates plus private
+    noise) or ``"randk"`` (uniform private supports).  ``density`` is
+    each worker's support size as a fraction of ``D``; ``shared_frac``
+    is the top-k portion drawn from the persistent hot pool
+    (``hot_pool_frac * D`` coordinates, Zipf(``hot_alpha``)-weighted).
+    """
+    if selection not in ("topk", "randk"):
+        raise ValueError(
+            f"unknown selection {selection!r}; use 'topk' or 'randk'"
+        )
+    dim = SCALE_DIMS[scale]
+    n_workers = min(int(n_workers), dim)
+    k_grad = max(int(dim * density), 1)
+    rows_per_worker = dim // n_workers
+
+    if selection == "topk":
+        # The hot-parameter ranking persists across rounds: same seed,
+        # round stream 0 — momentum keeps heavy coordinates heavy.
+        hot_pool = max(int(dim * hot_pool_frac), 1)
+        hot_ids = workload_rng(family, seed, 0, _STREAM_HOT).permutation(
+            dim
+        )[:hot_pool]
+        n_shared = int(k_grad * shared_frac)
+    else:
+        hot_ids = None
+        n_shared = 0
+
+    rng = workload_rng(family, seed, round_idx, _STREAM_SUPPORT)
+    rows_chunks, cols_chunks = [], []
+    for w in range(n_workers):
+        if n_shared:
+            ranks = zipf_sample(rng, hot_ids.size, n_shared, hot_alpha)
+            shared = hot_ids[ranks]
+        else:
+            shared = np.zeros(0, dtype=np.int64)
+        n_noise = k_grad - shared.size
+        noise = rng.integers(0, dim, size=n_noise, dtype=np.int64)
+        support = np.unique(np.concatenate([shared, noise]))
+        base = w * rows_per_worker
+        rows = base + np.arange(support.size, dtype=np.int64) % rows_per_worker
+        rows_chunks.append(rows)
+        cols_chunks.append(support)
+
+    mat = COOMatrix(
+        dim,
+        dim,
+        np.concatenate(rows_chunks),
+        np.concatenate(cols_chunks),
+        None,
+        name,
+    )
+    return mat.canonicalize()
+
+
+register_workload(WorkloadFamily(
+    name="allreduce_topk",
+    kind="allreduce",
+    description="SparCML top-k sparse allreduce: persistent Zipf-hot "
+                "gradient coordinates shared across workers plus "
+                "per-round private noise; the ToR Property Cache is the "
+                "Flare-style in-network reduction point.",
+    generator=gradient_exchange,
+    gen_kwargs={"selection": "topk"},
+    n_rounds=4,
+    default_rig_batch=8 * 1024,
+    # Virtual full scale: ~60M-parameter model, 1% density, 128 workers.
+    paper_nnz_m=77.0,
+    dynamic=True,
+))
+
+register_workload(WorkloadFamily(
+    name="allreduce_randk",
+    kind="allreduce",
+    description="SparCML random-k sparse allreduce: uniform private "
+                "supports redrawn every round — near-zero cross-worker "
+                "overlap, the adversarial case for in-network caching.",
+    generator=gradient_exchange,
+    gen_kwargs={"selection": "randk"},
+    n_rounds=4,
+    default_rig_batch=8 * 1024,
+    paper_nnz_m=77.0,
+    dynamic=True,
+))

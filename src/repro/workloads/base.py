@@ -1,0 +1,248 @@
+"""Workload-family registry and the ``wl:`` trace-name protocol.
+
+NetSparse's mechanisms are evaluated in the paper on one-shot
+SpMM/SpMV/SDDMM gathers.  This package opens a second scenario axis —
+training-stack-shaped traffic — by expressing each new workload as a
+*trace generator*: a seeded, deterministic function that produces one
+:class:`~repro.sparse.matrix.COOMatrix` per communication **round**,
+shaped so that the existing 1D partition turns it into exactly the
+per-node idx streams the cluster model, the baselines and the DES
+substrate already consume.
+
+Generator protocol
+------------------
+A generator is a callable::
+
+    generator(scale, seed, round_idx, family, name, **gen_kwargs) -> COOMatrix
+
+- ``scale``     — ``tiny`` / ``small`` / ``medium``, same vocabulary as
+  the benchmark suite;
+- ``seed``      — the sweep seed; identical ``(family, scale, seed,
+  round_idx)`` must reproduce the matrix bit-for-bit (the structural
+  digest keys the :class:`~repro.partition.tracecache.TraceCache` and,
+  through the trace name, every :class:`~repro.parallel.jobs.SimJob`
+  result-cache digest);
+- ``round_idx`` — the communication round (training step / SpMV
+  iteration).  Static families ignore it; dynamic families must derive
+  all per-round randomness from ``(family, seed, round_idx)`` via
+  :func:`workload_rng` so rounds are independently reproducible;
+- ``family``    — the registered family name (seed-space separation);
+- ``name``      — the display name to stamp on the returned matrix.
+
+Registration makes a family addressable by **trace name** —
+``wl:<family>:r<round>`` — everywhere a benchmark-matrix name is
+accepted: :func:`repro.sparse.suite.load_benchmark` dispatches the
+``wl:`` prefix here, so workload rounds flow through ``SimJob`` digests,
+the on-disk :class:`~repro.parallel.cache.ResultCache`, ``--jobs``
+process fan-out, fault plans and telemetry with no special cases.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.sparse.matrix import COOMatrix
+
+__all__ = [
+    "TRACE_PREFIX",
+    "WORKLOADS",
+    "WorkloadFamily",
+    "is_workload_trace",
+    "list_workloads",
+    "load_workload_trace",
+    "parse_trace_name",
+    "register_workload",
+    "trace_digest",
+    "workload_rng",
+    "workload_scale_factor",
+    "workload_trace_name",
+]
+
+#: Trace names ``wl:<family>:r<round>`` route to this registry.
+TRACE_PREFIX = "wl:"
+
+#: Generation-time model dimension per scale (rows == cols == D), kept
+#: in the same band as the benchmark matrices so walls are comparable.
+SCALE_DIMS: Dict[str, int] = {
+    "tiny": 1 << 13,
+    "small": 1 << 17,
+    "medium": 1 << 19,
+}
+
+
+def workload_rng(family: str, seed: int, round_idx: int,
+                 stream: int = 0) -> np.random.Generator:
+    """A deterministic RNG for one (family, seed, round, stream) cell.
+
+    The family name is folded through blake2 so two families with the
+    same seed never share a random stream; ``stream`` separates
+    independent draws inside one generator (e.g. the persistent hot-set
+    permutation vs the per-round noise).  Pass ``round_idx=0`` for
+    state that must persist across rounds.
+    """
+    entropy = int.from_bytes(
+        hashlib.blake2b(family.encode("utf-8"), digest_size=8).digest(),
+        "big",
+    )
+    return np.random.default_rng(
+        np.random.SeedSequence([entropy, int(seed) & 0xFFFFFFFF,
+                                int(round_idx), int(stream)])
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadFamily:
+    """One registered workload family (a named trace generator).
+
+    ``paper_nnz_m`` plays the role of
+    :attr:`repro.sparse.suite.BenchmarkSpec.paper_nnz_m`: the virtual
+    full-scale nonzero count (in millions) this family downsizes from,
+    so :func:`workload_scale_factor` keeps the size-coupled model
+    quantities (RIG batch, Property Cache capacity, per-command
+    overheads) on the same footing as the benchmark matrices.
+    ``dynamic`` records whether the nonzero set changes across rounds
+    (the UMD adaptive-collectives setting) — static families share
+    TraceCache entries across their whole round sweep by construction.
+    """
+
+    name: str
+    kind: str                           # "allreduce" | "spmv"
+    description: str
+    generator: Callable[..., COOMatrix]
+    gen_kwargs: Dict = field(default_factory=dict)
+    n_rounds: int = 4
+    default_rig_batch: int = 8 * 1024
+    paper_nnz_m: float = 100.0
+    dynamic: bool = True
+
+    def generate(self, scale: str, seed: int, round_idx: int) -> COOMatrix:
+        """Build this family's round trace (uncached; see
+        :func:`load_workload_trace` for the memoized front door)."""
+        if scale not in SCALE_DIMS:
+            raise ValueError(
+                f"unknown scale {scale!r}; expected one of {sorted(SCALE_DIMS)}"
+            )
+        if round_idx < 0:
+            raise ValueError("round_idx must be nonnegative")
+        mat = self.generator(
+            scale=scale,
+            seed=seed,
+            round_idx=round_idx,
+            family=self.name,
+            name=workload_trace_name(self.name, round_idx),
+            **self.gen_kwargs,
+        )
+        return mat
+
+    def round_names(self, n_rounds: int = 0) -> List[str]:
+        """Trace names for rounds ``0..n-1`` (default: the family's own
+        round count)."""
+        n = n_rounds or self.n_rounds
+        return [workload_trace_name(self.name, r) for r in range(n)]
+
+
+#: The process-wide registry, populated at import by the built-in
+#: families (:mod:`repro.workloads.allreduce`, :mod:`repro.workloads.spmv`).
+WORKLOADS: Dict[str, WorkloadFamily] = {}
+
+
+def register_workload(family: WorkloadFamily) -> WorkloadFamily:
+    """Add a family to the registry (duplicate names are an error)."""
+    if family.name in WORKLOADS:
+        raise ValueError(f"duplicate workload family {family.name!r}")
+    if ":" in family.name or "/" in family.name:
+        raise ValueError("workload names must not contain ':' or '/'")
+    WORKLOADS[family.name] = family
+    return family
+
+
+def list_workloads() -> List[str]:
+    return sorted(WORKLOADS)
+
+
+# -- the wl: trace-name protocol ---------------------------------------
+
+
+def workload_trace_name(family: str, round_idx: int) -> str:
+    """The canonical trace name of one family round:
+    ``wl:<family>:r<round>``."""
+    return f"{TRACE_PREFIX}{family}:r{int(round_idx)}"
+
+
+def is_workload_trace(name: str) -> bool:
+    return isinstance(name, str) and name.startswith(TRACE_PREFIX)
+
+
+def parse_trace_name(name: str) -> Tuple[str, int]:
+    """``(family, round_idx)`` of a ``wl:`` trace name.
+
+    Raises ``KeyError`` for unknown families (mirroring
+    ``load_benchmark``'s typo behaviour) and ``ValueError`` for
+    malformed names.
+    """
+    if not is_workload_trace(name):
+        raise ValueError(f"not a workload trace name: {name!r}")
+    body = name[len(TRACE_PREFIX):]
+    family, sep, round_part = body.partition(":r")
+    if not sep or not round_part.isdigit():
+        raise ValueError(
+            f"malformed workload trace name {name!r}; "
+            "expected wl:<family>:r<round>"
+        )
+    if family not in WORKLOADS:
+        raise KeyError(
+            f"unknown workload family {family!r}; available: {list_workloads()}"
+        )
+    return family, int(round_part)
+
+
+@lru_cache(maxsize=64)
+def _load_cached(family: str, round_idx: int, scale: str,
+                 seed: int) -> COOMatrix:
+    return WORKLOADS[family].generate(scale, seed, round_idx)
+
+
+def load_workload_trace(name: str, scale: str = "small",
+                        seed: int = 7) -> COOMatrix:
+    """Generate (and memoize) the round trace named by a ``wl:`` name.
+
+    This is the workload arm of
+    :func:`repro.sparse.suite.load_benchmark`; worker processes of the
+    execution engine resolve trace names through the same path, so
+    ``--jobs`` fan-out regenerates identical matrices from the registry
+    alone.
+    """
+    family, round_idx = parse_trace_name(name)
+    return _load_cached(family, round_idx, scale, seed)
+
+
+def workload_scale_factor(name: str, matrix: COOMatrix) -> float:
+    """This round trace's nnz over the family's virtual paper-scale nnz
+    (the workload arm of :func:`repro.sparse.suite.scale_factor`)."""
+    family, _ = parse_trace_name(name)
+    return matrix.nnz / (WORKLOADS[family].paper_nnz_m * 1e6)
+
+
+def trace_digest(family: str, scale: str = "small", seed: int = 7,
+                 round_idx: int = 0, fresh: bool = False) -> str:
+    """Structural digest of one round trace — the determinism anchor.
+
+    With ``fresh=True`` the matrix is regenerated outside the memo so
+    the digest proves generator determinism rather than cache identity
+    (the ``collectives --smoke`` self-check and the determinism tests
+    rely on this distinction).
+    """
+    if family not in WORKLOADS:
+        raise KeyError(
+            f"unknown workload family {family!r}; available: {list_workloads()}"
+        )
+    if fresh:
+        mat = WORKLOADS[family].generate(scale, seed, round_idx)
+    else:
+        mat = _load_cached(family, round_idx, scale, seed)
+    return mat.structural_digest()

@@ -1,0 +1,136 @@
+"""Tests for the collectives experiments, the DES round driver, and the
+``netsparse collectives`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.dessim import run_des_rounds
+from repro.experiments import EXPERIMENTS
+from repro.experiments.collectives import (
+    collectives_report,
+    run_collectives,
+    run_collectives_des,
+)
+from repro.parallel import ExecutionEngine, engine_scope, get_engine, set_engine
+from repro.workloads import WORKLOADS, load_workload_trace
+
+SEED = 7
+
+
+def _traces(family, n_rounds):
+    return [load_workload_trace(name, "tiny", SEED)
+            for name in WORKLOADS[family].round_names(n_rounds)]
+
+
+class TestDesRounds:
+    @pytest.fixture(scope="class")
+    def sweeps(self):
+        traces = _traces("allreduce_topk", 2)
+        return (run_des_rounds(traces, k=1, keep_cache=False),
+                run_des_rounds(traces, k=1, keep_cache=True))
+
+    def test_one_result_per_round(self, sweeps):
+        flush, keep = sweeps
+        assert len(flush) == len(keep) == 2
+
+    def test_persistent_cache_never_changes_delivery(self, sweeps):
+        flush, keep = sweeps
+        for f, k in zip(flush, keep):
+            assert f.received == k.received
+
+    def test_persistent_cache_raises_reuse_round_hits(self, sweeps):
+        flush, keep = sweeps
+        assert (keep[1].extras["round_cache"]["hit_rate"]
+                > flush[1].extras["round_cache"]["hit_rate"])
+        # Round 0 starts cold either way.
+        assert (keep[0].extras["round_cache"]["hits"]
+                == flush[0].extras["round_cache"]["hits"])
+
+    def test_round_cache_stats_are_deltas(self, sweeps):
+        _, keep = sweeps
+        for r in keep:
+            rc = r.extras["round_cache"]
+            assert 0 <= rc["hits"] <= rc["lookups"]
+
+    def test_empty_and_mismatched_rounds_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            run_des_rounds([], k=1)
+        a = load_workload_trace("wl:pagerank:r0", "tiny", SEED)
+        from repro.sparse.matrix import COOMatrix
+
+        smaller = COOMatrix(a.n_rows // 2, a.n_cols // 2,
+                            a.rows[:4] % (a.n_rows // 2),
+                            a.cols[:4] % (a.n_cols // 2), None, "half")
+        with pytest.raises(ValueError, match="share dimensions"):
+            run_des_rounds([a, smaller], k=1)
+
+
+class TestCollectivesExperiment:
+    @pytest.fixture(scope="class")
+    def table(self):
+        with engine_scope(ExecutionEngine()):
+            return run_collectives(
+                scale="tiny",
+                families=("allreduce_topk", "pagerank_dynamic"),
+                n_rounds=2,
+            )
+
+    def test_registered(self):
+        assert "collectives" in EXPERIMENTS
+        assert "collectives_des" in EXPERIMENTS
+
+    def test_table_shape(self, table):
+        assert table.exp_id == "collectives"
+        assert table.column("workload") == ["allreduce_topk",
+                                            "pagerank_dynamic"]
+        assert set(table.column("kind")) == {"allreduce", "spmv"}
+        assert table.column("rounds") == [2, 2]
+
+    def test_netsparse_ahead_of_baselines(self, table):
+        assert all(x > 1.0 for x in table.column("NS/SUOpt x"))
+        assert all(x > 1.0 for x in table.column("NS/SAOpt x"))
+
+    def test_resampled_family_churns_more_than_topk(self, table):
+        churn = dict(zip(table.column("workload"), table.column("churn %")))
+        assert churn["pagerank_dynamic"] >= 0.0
+        assert all(0.0 <= c <= 100.0 for c in churn.values())
+
+    def test_report_renders_both_tables(self, table):
+        des = run_collectives_des(families=("allreduce_topk",), n_rounds=2)
+        md = collectives_report(table, des)
+        assert md.startswith("# Sparse ML collective workloads")
+        assert "| workload |" in md
+        assert "keep hit %" in md
+        assert "Best analytic speedup" in md
+
+    def test_des_experiment_keep_beats_flush(self):
+        des = run_collectives_des(families=("pagerank",), n_rounds=2)
+        row = des.row_by("workload", "pagerank")
+        flush_pct = row[des.columns.index("flush hit %")]
+        keep_pct = row[des.columns.index("keep hit %")]
+        assert keep_pct >= flush_pct
+
+
+class TestCollectivesCli:
+    def test_smoke_writes_artifacts_and_passes(self, tmp_path, capsys):
+        previous = set_engine(None)
+        try:
+            rc = main(["collectives", "--smoke", "-o", str(tmp_path)])
+        finally:
+            get_engine().close()
+            set_engine(previous)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[smoke] both families ran on both substrates" in out
+        md = tmp_path / "collectives_tiny.md"
+        metrics = tmp_path / "collectives_tiny.metrics.json"
+        assert md.exists() and metrics.exists()
+        text = md.read_text()
+        assert "Sparse ML collective workloads" in text
+        assert "allreduce_topk" in text and "pagerank" in text
+        dumped = json.loads(metrics.read_text())
+        counters = dumped.get("counters", {})
+        assert counters.get("pcache.lookups", 0) > 0
+        assert counters.get("dessim.prs.issued", 0) > 0

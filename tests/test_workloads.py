@@ -1,0 +1,210 @@
+"""Tests for repro.workloads: registry, trace-name protocol, generator
+determinism, and engine/cache integration of the ``wl:`` names."""
+
+import numpy as np
+import pytest
+
+from repro.config import NetSparseConfig
+from repro.parallel import ExecutionEngine, ResultCache, SimJob
+from repro.sparse.suite import load_benchmark, scale_factor
+from repro.workloads import (
+    WORKLOADS,
+    WorkloadFamily,
+    is_workload_trace,
+    list_workloads,
+    load_workload_trace,
+    parse_trace_name,
+    register_workload,
+    trace_digest,
+    workload_trace_name,
+)
+
+SCALE = "tiny"
+SEED = 7
+FAMILIES = ("allreduce_topk", "allreduce_randk", "pagerank",
+            "pagerank_dynamic")
+
+
+class TestRegistry:
+    def test_builtin_families_registered(self):
+        assert list_workloads() == sorted(FAMILIES)
+        kinds = {WORKLOADS[f].kind for f in FAMILIES}
+        assert kinds == {"allreduce", "spmv"}
+
+    def test_duplicate_registration_rejected(self):
+        family = WORKLOADS["pagerank"]
+        with pytest.raises(ValueError, match="duplicate"):
+            register_workload(family)
+
+    def test_reserved_characters_rejected(self):
+        bad = WorkloadFamily(name="a:b", kind="spmv", description="",
+                             generator=lambda **kw: None)
+        with pytest.raises(ValueError, match="must not contain"):
+            register_workload(bad)
+
+
+class TestTraceNames:
+    def test_roundtrip(self):
+        name = workload_trace_name("pagerank", 3)
+        assert name == "wl:pagerank:r3"
+        assert is_workload_trace(name)
+        assert parse_trace_name(name) == ("pagerank", 3)
+
+    def test_malformed_names(self):
+        for bad in ("pagerank", "wl:pagerank", "wl:pagerank:rX",
+                    "wl:pagerank:3"):
+            with pytest.raises(ValueError):
+                parse_trace_name(bad)
+
+    def test_unknown_family_is_keyerror(self):
+        with pytest.raises(KeyError, match="available"):
+            parse_trace_name("wl:nosuch:r0")
+        with pytest.raises(KeyError):
+            trace_digest("nosuch", SCALE)
+
+    def test_benchmark_names_unaffected(self):
+        assert not is_workload_trace("arabic")
+        mat = load_benchmark("queen", SCALE, seed=SEED)
+        assert mat.name == "queen"
+
+
+class TestDispatch:
+    """``wl:`` names resolve through the benchmark front door."""
+
+    def test_load_benchmark_routes_to_workloads(self):
+        name = workload_trace_name("allreduce_topk", 0)
+        via_suite = load_benchmark(name, SCALE, seed=SEED)
+        direct = load_workload_trace(name, SCALE, SEED)
+        assert via_suite is direct  # same memoized object
+        assert via_suite.name == name
+
+    def test_scale_factor_routes_to_workloads(self):
+        name = workload_trace_name("pagerank", 0)
+        mat = load_benchmark(name, SCALE, seed=SEED)
+        sc = scale_factor(name, mat)
+        assert sc == mat.nnz / (WORKLOADS["pagerank"].paper_nnz_m * 1e6)
+        assert 0 < sc < 1
+
+    def test_round_names(self):
+        names = WORKLOADS["pagerank"].round_names(3)
+        assert names == ["wl:pagerank:r0", "wl:pagerank:r1",
+                         "wl:pagerank:r2"]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_fresh_regeneration_is_digest_identical(self, family):
+        cached = trace_digest(family, SCALE, SEED, round_idx=1)
+        fresh = trace_digest(family, SCALE, SEED, round_idx=1, fresh=True)
+        again = trace_digest(family, SCALE, SEED, round_idx=1, fresh=True)
+        assert cached == fresh == again
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_rounds_differ(self, family):
+        digests = [trace_digest(family, SCALE, SEED, round_idx=r)
+                   for r in range(3)]
+        assert len(set(digests)) == 3
+
+    def test_seeds_differ(self):
+        assert (trace_digest("allreduce_topk", SCALE, seed=7)
+                != trace_digest("allreduce_topk", SCALE, seed=8))
+
+    def test_families_do_not_share_streams(self):
+        a = load_workload_trace("wl:allreduce_topk:r0", SCALE, SEED)
+        b = load_workload_trace("wl:allreduce_randk:r0", SCALE, SEED)
+        assert a.structural_digest() != b.structural_digest()
+
+
+class TestWorkloadShapes:
+    def test_topk_reuses_support_across_rounds(self):
+        """Persistent hot coordinates: a worker's top-k support repeats
+        across rounds far more than its random-k support (which is
+        redrawn uniformly every step)."""
+
+        def overlap(family):
+            def nz(r):
+                mat = load_workload_trace(f"wl:{family}:r{r}", SCALE, SEED)
+                return np.unique(mat.rows.astype(np.int64) * mat.n_cols
+                                 + mat.cols)
+
+            r0, r1 = nz(0), nz(1)
+            return (np.intersect1d(r0, r1, assume_unique=True).size
+                    / min(r0.size, r1.size))
+
+        assert overlap("allreduce_topk") > 2 * overlap("allreduce_randk")
+
+    def test_pagerank_frontiers_are_nested(self):
+        supports = [
+            set(load_workload_trace(f"wl:pagerank:r{r}", SCALE, SEED)
+                .rows.tolist())
+            for r in range(3)
+        ]
+        assert supports[2] <= supports[1] <= supports[0]
+        assert len(supports[2]) < len(supports[0])
+
+    def test_dynamic_mode_churns_every_round(self):
+        rows = [
+            set(load_workload_trace(
+                f"wl:pagerank_dynamic:r{r}", SCALE, SEED).rows.tolist())
+            for r in (1, 2)
+        ]
+        assert rows[0] != rows[1]
+        assert rows[1] - rows[0]  # genuinely new rows, not just shrinkage
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_traces_are_square_and_in_range(self, family):
+        mat = load_workload_trace(f"wl:{family}:r0", SCALE, SEED)
+        assert mat.n_rows == mat.n_cols
+        assert mat.nnz > 0
+        assert mat.cols.max() < mat.n_cols and mat.rows.max() < mat.n_rows
+
+
+def _round_jobs(family, rounds=2, schemes=("netsparse", "saopt", "suopt")):
+    cfg = NetSparseConfig()
+    batch = WORKLOADS[family].default_rig_batch
+    return [
+        SimJob(scheme=s, matrix=workload_trace_name(family, r), k=1,
+               config=cfg, scale_name=SCALE, seed=SEED,
+               rig_batch=batch if s == "netsparse" else None)
+        for r in range(rounds) for s in schemes
+    ]
+
+
+class TestEngineIntegration:
+    @pytest.mark.parametrize("family", ("allreduce_topk", "pagerank"))
+    def test_all_schemes_execute(self, family):
+        with ExecutionEngine() as eng:
+            ns, sa, su = eng.run_jobs(_round_jobs(family, rounds=1))
+        assert 0 < ns.total_time < sa.total_time
+        assert su.total_time > 0
+
+    @pytest.mark.parametrize("family", ("allreduce_topk", "pagerank_dynamic"))
+    def test_parallel_fanout_is_bit_identical(self, family, tmp_path):
+        jobs = _round_jobs(family)
+        with ExecutionEngine(jobs=1) as eng:
+            serial = eng.run_jobs(jobs)
+        with ExecutionEngine(jobs=2, cache=ResultCache(tmp_path)) as eng:
+            fanned = eng.run_jobs(jobs)
+        for a, b in zip(serial, fanned):
+            assert a.total_time == b.total_time
+            np.testing.assert_array_equal(a.per_node_time, b.per_node_time)
+
+    def test_result_cache_replays_workload_jobs(self, tmp_path):
+        jobs = _round_jobs("allreduce_randk")
+        cache = ResultCache(tmp_path)
+        with ExecutionEngine(cache=cache) as eng:
+            first = eng.run_jobs(jobs)
+            assert eng.stats.executed == len(jobs)
+        with ExecutionEngine(cache=ResultCache(tmp_path)) as eng:
+            second = eng.run_jobs(jobs)
+            assert eng.stats.cache_hits == len(jobs)
+        for a, b in zip(first, second):
+            assert a.total_time == b.total_time
+
+    def test_round_digests_separate_cache_entries(self):
+        cfg = NetSparseConfig()
+        a = SimJob(scheme="suopt", matrix="wl:pagerank:r0", k=1,
+                   config=cfg, scale_name=SCALE, seed=SEED)
+        b = SimJob(scheme="suopt", matrix="wl:pagerank:r1", k=1,
+                   config=cfg, scale_name=SCALE, seed=SEED)
+        assert a.digest() != b.digest()
