@@ -21,6 +21,7 @@ inside the pipeline are diffable, not just eyeballable.
 import json
 import os
 import platform
+import resource
 import time
 
 import pytest
@@ -39,6 +40,17 @@ def scale():
     return SCALE
 
 
+def peak_rss_mb() -> float:
+    """High-water resident set of this process, in MiB.
+
+    ``ru_maxrss`` is KiB on Linux, bytes on macOS.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if platform.system() == "Darwin":
+        peak //= 1024
+    return round(peak / 1024.0, 1)
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
     t0 = time.perf_counter()
@@ -48,6 +60,9 @@ def run_once(benchmark, fn, *args, **kwargs):
     record = {
         "test": os.environ.get("PYTEST_CURRENT_TEST", "").split(" ")[0],
         "wall_s": round(elapsed, 4),
+        # High-water mark *so far* — monotone across records; the
+        # payload-level memory block holds the session-wide peak.
+        "peak_rss_mb": peak_rss_mb(),
     }
     exp_id = getattr(result, "exp_id", None)
     if exp_id is None and args and isinstance(args[0], str):
@@ -81,6 +96,16 @@ def pytest_sessionfinish(session, exitstatus):
         "total_wall_s": round(sum(r["wall_s"] for r in _BENCH_RECORDS), 3),
         "results": sorted(_BENCH_RECORDS, key=lambda r: r["test"]),
     }
+    memory = {"peak_rss_mb": peak_rss_mb()}
+    try:
+        from repro.partition import get_trace_cache
+        from repro.sparse.suite import suite_cache_stats
+
+        memory["suite_cache"] = suite_cache_stats()
+        memory["trace_cache"] = get_trace_cache().stats()
+    except Exception:
+        pass
+    payload["memory"] = memory
     try:
         from repro.parallel import get_engine
 

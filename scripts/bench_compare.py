@@ -15,10 +15,15 @@ Intended uses:
 - Locally: ``python scripts/bench_compare.py`` after a benchmark run
   shows what this change did to the perf trajectory.
 
-Only wall time is compared; tests present in one snapshot but not the
-other are reported informationally.  Snapshots at different
-``REPRO_BENCH_SCALE`` settings are never compared (walls are not
-commensurable across scales).
+Wall time is compared per test; the session-wide peak RSS (the
+``memory.peak_rss_mb`` block written since the sharded-trace work) is
+compared per snapshot under its own, looser threshold — memory is
+noisier than wall time, but a paper-scale sweep that silently doubles
+its resident set is exactly the regression the shard/spill tier exists
+to prevent.  Tests present in one snapshot but not the other are
+reported informationally.  Snapshots at different
+``REPRO_BENCH_SCALE`` settings are never compared (neither walls nor
+peak RSS are commensurable across scales).
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ import sys
 from typing import Dict, List, Tuple
 
 DEFAULT_THRESHOLD = 0.20
+DEFAULT_MEM_THRESHOLD = 0.25
 
 
 def collect_snapshots(locations: List[str]) -> List[str]:
@@ -71,8 +77,35 @@ def short_name(test: str) -> str:
     return test.split("::")[-1]
 
 
+def compare_memory(base_meta: dict, new_meta: dict, threshold: float,
+                   annotate: bool) -> List[str]:
+    """Diff session-wide peak RSS; returns ["memory"] on regression.
+
+    Old snapshots predate the ``memory`` block — a missing side just
+    skips the comparison instead of failing it.
+    """
+    base_mb = (base_meta.get("memory") or {}).get("peak_rss_mb")
+    new_mb = (new_meta.get("memory") or {}).get("peak_rss_mb")
+    if not base_mb or not new_mb:
+        print("peak RSS: not recorded on both sides -- skipping")
+        return []
+    delta = (new_mb - base_mb) / base_mb
+    marker = ""
+    if delta > threshold:
+        marker = "  << MEMORY REGRESSION"
+        if annotate:
+            print(f"::warning title=bench memory regression::peak RSS "
+                  f"{base_mb:.0f}MiB -> {new_mb:.0f}MiB (+{delta:.0%})")
+    elif delta < -threshold:
+        marker = "  (improved)"
+    print(f"peak RSS: {base_mb:.0f}MiB -> {new_mb:.0f}MiB "
+          f"({delta:+.0%}){marker}")
+    return ["memory"] if delta > threshold else []
+
+
 def compare(base_path: str, new_path: str, threshold: float,
-            annotate: bool) -> List[str]:
+            annotate: bool,
+            mem_threshold: float = DEFAULT_MEM_THRESHOLD) -> List[str]:
     """Print the diff table; return the list of regressed test names."""
     base_meta, base = load_walls(base_path)
     new_meta, new = load_walls(new_path)
@@ -88,7 +121,7 @@ def compare(base_path: str, new_path: str, threshold: float,
     shared = sorted(set(base) & set(new))
     if not shared:
         print("no tests in common")
-        return []
+        return compare_memory(base_meta, new_meta, mem_threshold, annotate)
     width = max(len(short_name(t)) for t in shared)
     print(f"{'test':<{width}}  {'base s':>8}  {'new s':>8}  {'delta':>7}")
     for test in shared:
@@ -111,6 +144,8 @@ def compare(base_path: str, new_path: str, threshold: float,
     for test in sorted(set(base) - set(new)):
         print(f"{short_name(test):<{width}}  {base[test]:>8.3f}  "
               f"{'-':>8}     gone")
+    regressions += compare_memory(base_meta, new_meta, mem_threshold,
+                                  annotate)
     return regressions
 
 
@@ -127,6 +162,11 @@ def main(argv=None) -> int:
         "--threshold", type=float, default=DEFAULT_THRESHOLD,
         help="relative wall-time increase flagged as a regression "
              "(default 0.20)",
+    )
+    parser.add_argument(
+        "--mem-threshold", type=float, default=DEFAULT_MEM_THRESHOLD,
+        help="relative session peak-RSS increase flagged as a memory "
+             "regression (default 0.25)",
     )
     parser.add_argument(
         "--github", action="store_true",
@@ -157,7 +197,8 @@ def main(argv=None) -> int:
             print(f"::notice title=bench compare::no baseline: {msg}")
         return 0
     regressions = compare(snapshots[-2], snapshots[-1], args.threshold,
-                          annotate=args.github)
+                          annotate=args.github,
+                          mem_threshold=args.mem_threshold)
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond "
               f"{args.threshold:.0%}")

@@ -107,7 +107,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--scale",
         default="small",
-        choices=["tiny", "small", "medium"],
+        choices=["tiny", "small", "medium", "large"],
         help="benchmark matrix scale (default: small)",
     )
     _add_engine_flags(run)
@@ -115,7 +115,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "report", help="run the whole suite and write a markdown report"
     )
     report.add_argument("--scale", default="small",
-                        choices=["tiny", "small", "medium"])
+                        choices=["tiny", "small", "medium", "large"])
     report.add_argument("-o", "--output", default="report.md",
                         help="output markdown path (default: report.md)")
     report.add_argument("--only", nargs="*", default=None,
@@ -131,7 +131,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="experiment id to profile (default: table7)",
     )
     prof.add_argument("--scale", default="small",
-                      choices=["tiny", "small", "medium"])
+                      choices=["tiny", "small", "medium", "large"])
     prof.add_argument(
         "-o", "--out-dir", default=".", metavar="DIR",
         help="directory for profile_<exp>_<scale>.{json,csv,trace.json} "
@@ -149,7 +149,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "degradation report (speedup vs fault intensity)",
     )
     res.add_argument("--scale", default="small",
-                     choices=["tiny", "small", "medium"])
+                     choices=["tiny", "small", "medium", "large"])
     res.add_argument(
         "-o", "--out-dir", default=".", metavar="DIR",
         help="directory for resilience_<scale>.md and the telemetry "
@@ -168,7 +168,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "speedup report",
     )
     col.add_argument("--scale", default="small",
-                     choices=["tiny", "small", "medium"])
+                     choices=["tiny", "small", "medium", "large"])
     col.add_argument(
         "-o", "--out-dir", default=".", metavar="DIR",
         help="directory for collectives_<scale>.md and the telemetry "

@@ -65,7 +65,11 @@ def single_node_time(
     matrix, k: int, accel: SpadeConfig = SpadeConfig()
 ) -> float:
     """The whole kernel on one node (no communication)."""
-    unique_cols = int(np.unique(matrix.cols).size)
+    counter = getattr(matrix, "unique_col_count", None)
+    if counter is not None:     # sharded: one shard resident at a time
+        unique_cols = int(counter())
+    else:
+        unique_cols = int(np.unique(matrix.cols).size)
     return spmm_compute_time(matrix.nnz, matrix.n_rows, unique_cols, k, accel)
 
 

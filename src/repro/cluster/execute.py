@@ -21,6 +21,7 @@ from repro.config import NetSparseConfig
 from repro.core.filtering import FilterResult, filter_and_coalesce
 from repro.partition import OneDPartition, cached_partition
 from repro.sparse.matrix import COOMatrix
+from repro.sparse.shards import as_coo
 
 __all__ = ["DistributedRun", "distributed_spmm", "distributed_spmv",
            "distributed_sddmm"]
@@ -83,6 +84,7 @@ def distributed_spmm(
     config: Optional[NetSparseConfig] = None,
 ) -> DistributedRun:
     """Distributed ``C = A @ B`` over ``n_nodes`` 1D partitions."""
+    matrix = as_coo(matrix)   # numeric execution indexes the full arrays
     config = config or NetSparseConfig(n_nodes=n_nodes)
     b = np.asarray(b, dtype=np.float64)
     if b.ndim == 1:
@@ -151,6 +153,7 @@ def distributed_sddmm(
     like SpMM inputs.  Returns nonzero values in the matrix's
     canonical (row, col) order.
     """
+    matrix = as_coo(matrix)   # numeric execution indexes the full arrays
     config = config or NetSparseConfig(n_nodes=n_nodes)
     u = np.asarray(u, dtype=np.float64)
     v = np.asarray(v, dtype=np.float64)

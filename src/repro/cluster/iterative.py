@@ -25,6 +25,7 @@ from repro.config import NetSparseConfig
 from repro.cluster.model import simulate_netsparse
 from repro.results import CommResult
 from repro.sparse.matrix import COOMatrix
+from repro.sparse.shards import as_coo
 
 __all__ = ["IterativeResult", "run_iterations", "sample_matrix"]
 
@@ -39,6 +40,7 @@ def sample_matrix(
         raise ValueError("keep_fraction must be in (0, 1]")
     if keep_fraction == 1.0:
         return matrix
+    matrix = as_coo(matrix)   # edge sampling needs the full nonzero arrays
     rng = np.random.default_rng(seed)
     keep = rng.random(matrix.nnz) < keep_fraction
     return COOMatrix(

@@ -36,8 +36,8 @@ from repro.config import NetSparseConfig
 from repro.core import kernels
 from repro.core.concat import ConcatStats, window_concat
 from repro.core.filtering import filter_and_coalesce
-from repro.core.pcache import PropertyCache
-from repro.core.pcache_fast import property_cache_hits
+from repro.core.pcache import PropertyCache, n_sets_for
+from repro.core.pcache_fast import delayed_cache_hits
 from repro.core.rig import rig_generation_time
 from repro.results import CommResult
 from repro.network.topology import Dragonfly, HyperX, LeafSpine, Topology
@@ -133,6 +133,64 @@ def _merge_rack_streams(
     order = np.lexsort((src, pos))
     return {"src": src[order], "pos": pos[order],
             "idx": idx[order], "owner": owner[order]}
+
+
+def _rack_cache_hits(
+    rack_streams: List[np.ndarray],
+    config: NetSparseConfig,
+    pcache_bytes: int,
+    payload: int,
+    knobs: "NetSparseKnobs",
+) -> List[np.ndarray]:
+    """Hit masks for every rack's merged PR stream, backend-dispatched.
+
+    The racks' replays are independent deterministic kernels, so all
+    three backends — ``reference`` (the per-element front-end),
+    ``fast`` (the fused array kernel) and ``pool`` (the same kernel
+    fanned across a process pool) — return identical bits; only the
+    wall time differs.
+    """
+    delays = [
+        max(int(knobs.cache_inflight_frac * m_idx.size), 1)
+        for m_idx in rack_streams
+    ]
+    if not kernels.is_fast():
+        out = []
+        for m_idx, delay in zip(rack_streams, delays):
+            if m_idx.size == 0:
+                out.append(np.zeros(0, dtype=bool))
+                continue
+            pcache = PropertyCache(
+                capacity_bytes=pcache_bytes,
+                ways=config.pcache_ways,
+                n_segments=config.pcache_segments,
+                segment_bytes=config.pcache_min_line,
+            )
+            pcache.configure(max(payload, 1))
+            out.append(DelayedInsertCache(pcache, delay).process(m_idx))
+        return out
+    n_sets = n_sets_for(
+        pcache_bytes, config.pcache_ways, max(payload, 1),
+        config.pcache_segments, config.pcache_min_line,
+    )
+    tasks = [
+        (m_idx, n_sets, config.pcache_ways, delay, "lru")
+        for m_idx, delay in zip(rack_streams, delays)
+        if m_idx.size
+    ]
+    if kernels.is_pool() and len(tasks) > 1:
+        from repro.core import poolexec
+
+        results = poolexec.map_cache_replays(tasks)
+    else:
+        results = [delayed_cache_hits(*t) for t in tasks]
+    out, it = [], iter(results)
+    for m_idx in rack_streams:
+        if m_idx.size == 0:
+            out.append(np.zeros(0, dtype=bool))
+        else:
+            out.append(next(it)[0])
+    return out
 
 
 def _concat_stage_bytes(
@@ -266,6 +324,12 @@ def simulate_netsparse(
                 freq=config.snic_freq,
                 cmd_overhead=cmd_overhead,
             )
+            # Windowed (sharded) traces drop their materialized windows
+            # once their selections are copied out, keeping the resident
+            # set bounded by one node's trace.
+            release = getattr(tr, "release", None)
+            if release is not None:
+                release()
     telemetry.count("cluster.filter.candidates", n_candidates,
                     matrix=matrix.name)
     telemetry.count("cluster.filter.drops", n_filtered, matrix=matrix.name)
@@ -299,10 +363,25 @@ def simulate_netsparse(
             fabric_loads[lid] += nbytes
 
     with telemetry.span("cluster.stage.cache", matrix=matrix.name, k=k):
-        for rack, members in sorted(racks.items()):
-            merged = _merge_rack_streams(
-                [node_streams[m] for m in members], members
+        rack_list = sorted(racks.items())
+        merged_list = [
+            _merge_rack_streams([node_streams[m] for m in members], members)
+            for rack, members in rack_list
+        ]
+        # Property Cache at the ToR middle pipes — all racks' replays
+        # are independent, so they dispatch as one batch (the ``pool``
+        # backend fans them across worker processes).
+        if feats.property_cache:
+            rack_hits = _rack_cache_hits(
+                [m["idx"] for m in merged_list], config, pcache_bytes,
+                payload, knobs,
             )
+        else:
+            rack_hits = [
+                np.zeros(m["idx"].size, dtype=bool) for m in merged_list
+            ]
+        for (rack, members), merged, hits in zip(rack_list, merged_list,
+                                                 rack_hits):
             m_src, m_pos = merged["src"], merged["pos"]
             m_idx, m_owner = merged["idx"], merged["owner"]
 
@@ -314,33 +393,9 @@ def simulate_netsparse(
                 if not feats.concat_switch:
                     n_packets_total += stats.n_packets
 
-            # Property Cache at the ToR middle pipes.
             if feats.property_cache and m_idx.size:
-                delay = max(int(knobs.cache_inflight_frac * m_idx.size), 1)
-                if kernels.is_fast():
-                    hits, _ = property_cache_hits(
-                        m_idx,
-                        capacity_bytes=pcache_bytes,
-                        ways=config.pcache_ways,
-                        property_bytes=max(payload, 1),
-                        delay=delay,
-                        n_segments=config.pcache_segments,
-                        segment_bytes=config.pcache_min_line,
-                    )
-                else:
-                    pcache = PropertyCache(
-                        capacity_bytes=pcache_bytes,
-                        ways=config.pcache_ways,
-                        n_segments=config.pcache_segments,
-                        segment_bytes=config.pcache_min_line,
-                    )
-                    pcache.configure(max(payload, 1))
-                    front = DelayedInsertCache(pcache, delay)
-                    hits = front.process(m_idx)
                 cache_lookups += int(m_idx.size)
                 cache_hits += int(hits.sum())
-            else:
-                hits = np.zeros(m_idx.size, dtype=bool)
 
             # Cache-hit responses: generated at the ToR, delivered in-rack.
             if hits.any():

@@ -1,9 +1,10 @@
-"""Hot-path kernel backend selection: ``fast`` (array kernels) vs
-``reference`` (the original pure-Python implementations).
+"""Hot-path kernel backend selection: ``fast`` (array kernels),
+``reference`` (the original pure-Python implementations) or ``pool``
+(fast kernels with rack-level process fan-out).
 
 The cluster model's inner loops — the delayed-insert Property Cache
 front-end, the RIG batch-dispatch makespan and the window
-concatenation aggregation — exist in two implementations with
+concatenation aggregation — exist in implementations with
 *bit-identical* semantics:
 
 - ``fast``       — array-backed kernels (:mod:`repro.core.pcache_fast`,
@@ -11,13 +12,20 @@ concatenation aggregation — exist in two implementations with
   and :func:`repro.core.concat.window_concat`);
 - ``reference``  — the original per-element Python loops, kept as the
   executable specification the fast kernels are golden-tested against
-  (``tests/test_fast_kernels.py``).
+  (``tests/test_fast_kernels.py``);
+- ``pool``       — the fast kernels, with independent per-rack cache
+  replays fanned out across a forked
+  :class:`~concurrent.futures.ProcessPoolExecutor`
+  (:mod:`repro.core.poolexec`); falls back to serial execution inside
+  nested worker processes.  Reductions are identical to ``fast`` —
+  each rack's replay is an independent deterministic kernel.
 
-Because the two backends produce the same bits, the choice is *not*
+Because all backends produce the same bits, the choice is *not*
 part of a simulation's identity: it never enters
 :meth:`repro.config.NetSparseConfig.digest` or a
 :class:`~repro.parallel.jobs.SimJob` cache key.  Select with
-``REPRO_KERNELS=reference`` in the environment, or programmatically:
+``REPRO_KERNELS=reference`` (or ``pool``) in the environment, or
+programmatically:
 
 >>> from repro.core import kernels
 >>> with kernels.use_backend("reference"):
@@ -29,10 +37,17 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 
-__all__ = ["BACKENDS", "get_backend", "set_backend", "use_backend", "is_fast"]
+__all__ = [
+    "BACKENDS",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "is_fast",
+    "is_pool",
+]
 
 #: Recognized kernel backends.
-BACKENDS = ("fast", "reference")
+BACKENDS = ("fast", "reference", "pool")
 
 _backend = os.environ.get("REPRO_KERNELS", "fast")
 if _backend not in BACKENDS:
@@ -47,8 +62,14 @@ def get_backend() -> str:
 
 
 def is_fast() -> bool:
-    """True when the array-based fast kernels are active."""
-    return _backend == "fast"
+    """True when the array-based fast kernels are active (the ``pool``
+    tier runs the same fast kernels, only fanned out)."""
+    return _backend != "reference"
+
+
+def is_pool() -> bool:
+    """True when rack-level process fan-out is requested."""
+    return _backend == "pool"
 
 
 def set_backend(name: str) -> str:

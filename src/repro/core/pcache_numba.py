@@ -1,0 +1,177 @@
+"""Optional array-based Property Cache replay kernel (numba-ready).
+
+:func:`replay_hits` is a flat-array reformulation of
+:func:`repro.core.pcache_fast.delayed_cache_hits` for the ``lru`` and
+``fifo`` policies: each set is ``ways`` slots in two parallel arrays
+(``keys`` / ``stamps``) and the victim is the minimum-stamp slot —
+equivalent to the insertion-ordered-dict bookkeeping because an LRU
+hit re-stamps the line (dict re-insert) while a FIFO hit does not.
+
+The kernel body is plain Python over numpy arrays, so it is
+golden-testable everywhere; when `numba <https://numba.pydata.org>`_
+happens to be importable it is JIT-wrapped at import time
+(``HAVE_NUMBA``), turning the per-element loop into machine code.
+numba is **never required** — the container images do not ship it —
+and the ``random`` policy always falls back to the dict kernel (its
+victim choice indexes the set's insertion order, which has no
+array-local equivalent).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["HAVE_NUMBA", "replay_hits", "supports"]
+
+_NEVER = 1 << 62
+
+
+def _replay_kernel(
+    idxs: np.ndarray,        # int64[n] stream
+    keys: np.ndarray,        # int64[n_sets * ways], -1 = empty
+    stamps: np.ndarray,      # int64[n_sets * ways]
+    counts: np.ndarray,      # int64[n_sets] live lines per set
+    hits: np.ndarray,        # bool[n] out
+    n_sets: int,
+    ways: int,
+    delay: int,
+    lru: bool,
+) -> Tuple[int, int, int]:
+    """Replay ``idxs``; returns (hits, insertions, evictions)."""
+    n = idxs.shape[0]
+    pend_idx = np.empty(n, dtype=np.int64)
+    pend_pos = np.empty(n, dtype=np.int64)
+    head = 0
+    tail = 0
+    next_due = _NEVER
+    stamp = 0
+    n_hit = 0
+    n_ins = 0
+    n_ev = 0
+
+    for i in range(n):
+        idx = idxs[i]
+        while i >= next_due:
+            v = pend_idx[head]
+            head += 1
+            if head < tail:
+                next_due = pend_pos[head] + delay
+            else:
+                next_due = _NEVER
+            base = (v % n_sets) * ways
+            found = False
+            for w in range(ways):
+                if keys[base + w] == v:
+                    found = True
+                    break
+            if not found:
+                slot = -1
+                if counts[v % n_sets] >= ways:
+                    best = _NEVER
+                    for w in range(ways):
+                        if stamps[base + w] < best:
+                            best = stamps[base + w]
+                            slot = w
+                    n_ev += 1
+                    counts[v % n_sets] -= 1
+                else:
+                    for w in range(ways):
+                        if keys[base + w] == -1:
+                            slot = w
+                            break
+                keys[base + slot] = v
+                stamp += 1
+                stamps[base + slot] = stamp
+                counts[v % n_sets] += 1
+                n_ins += 1
+        base = (idx % n_sets) * ways
+        found = False
+        for w in range(ways):
+            if keys[base + w] == idx:
+                found = True
+                if lru:
+                    stamp += 1
+                    stamps[base + w] = stamp
+                break
+        if found:
+            hits[i] = True
+            n_hit += 1
+        else:
+            pend_idx[tail] = idx
+            pend_pos[tail] = i
+            tail += 1
+            if next_due == _NEVER:
+                next_due = i + delay
+
+    while head < tail:
+        v = pend_idx[head]
+        head += 1
+        base = (v % n_sets) * ways
+        found = False
+        for w in range(ways):
+            if keys[base + w] == v:
+                found = True
+                break
+        if not found:
+            slot = -1
+            if counts[v % n_sets] >= ways:
+                best = _NEVER
+                for w in range(ways):
+                    if stamps[base + w] < best:
+                        best = stamps[base + w]
+                        slot = w
+                n_ev += 1
+                counts[v % n_sets] -= 1
+            else:
+                for w in range(ways):
+                    if keys[base + w] == -1:
+                        slot = w
+                        break
+            keys[base + slot] = v
+            stamp += 1
+            stamps[base + slot] = stamp
+            counts[v % n_sets] += 1
+            n_ins += 1
+
+    return n_hit, n_ins, n_ev
+
+
+try:                                               # pragma: no cover
+    import numba
+
+    _replay_kernel_jit = numba.njit(cache=False)(_replay_kernel)
+    HAVE_NUMBA = True
+except Exception:                                  # numba absent: fine
+    _replay_kernel_jit = _replay_kernel
+    HAVE_NUMBA = False
+
+
+def supports(policy: str) -> bool:
+    """Whether this kernel covers ``policy`` (lru / fifo only)."""
+    return policy in ("lru", "fifo")
+
+
+def replay_hits(idxs: np.ndarray, n_sets: int, ways: int, delay: int,
+                policy: str = "lru"):
+    """Array-kernel twin of ``delayed_cache_hits`` for lru / fifo.
+
+    Returns ``(hits, (n_hits, n_ins, n_ev))``; raises ``ValueError``
+    for policies the flat-array formulation cannot express.
+    """
+    if not supports(policy):
+        raise ValueError(f"array kernel does not support policy {policy!r}")
+    idxs = np.ascontiguousarray(idxs, dtype=np.int64)
+    n = int(idxs.size)
+    hits = np.zeros(n, dtype=bool)
+    if n_sets <= 0 or n == 0:
+        return hits, (0, 0, 0)
+    keys = np.full(n_sets * ways, -1, dtype=np.int64)
+    stamps = np.zeros(n_sets * ways, dtype=np.int64)
+    counts = np.zeros(n_sets, dtype=np.int64)
+    out = _replay_kernel_jit(
+        idxs, keys, stamps, counts, hits,
+        int(n_sets), int(ways), max(int(delay), 0), policy == "lru",
+    )
+    return hits, tuple(int(x) for x in out)

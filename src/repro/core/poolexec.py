@@ -1,0 +1,101 @@
+"""Shared process pool for the ``pool`` kernel tier.
+
+The cluster model's per-rack Property Cache replays are independent
+deterministic kernels over disjoint streams — ideal fan-out units.
+``REPRO_KERNELS=pool`` routes them through one lazily created
+fork-context :class:`~concurrent.futures.ProcessPoolExecutor` shared
+by the whole process (``REPRO_POOL_JOBS`` caps workers; default is
+``os.cpu_count() - 1``).
+
+Nesting guard: the execution engine's own worker processes (and any
+other child process) must not each spawn a pool of their own —
+:func:`pool_available` reports False inside a child process, in daemon
+processes and when ``REPRO_POOL_DISABLE`` is set, and
+:func:`map_cache_replays` then simply runs the replays serially with
+the same fast kernel.  Results are bit-identical either way, so the
+fallback is silent and safe.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pcache_fast import delayed_cache_hits
+
+__all__ = ["map_cache_replays", "pool_available", "pool_workers",
+           "shutdown"]
+
+_executor: ProcessPoolExecutor = None
+
+
+def pool_workers() -> int:
+    """Worker count the pool would use (``REPRO_POOL_JOBS`` override)."""
+    raw = os.environ.get("REPRO_POOL_JOBS", "").strip()
+    if raw:
+        return max(int(raw), 1)
+    return max((os.cpu_count() or 2) - 1, 1)
+
+
+def pool_available() -> bool:
+    """Whether fanning out to a process pool is safe here."""
+    if os.environ.get("REPRO_POOL_DISABLE"):
+        return False
+    proc = multiprocessing.current_process()
+    if proc.daemon:
+        return False
+    # Child processes (engine workers, pool workers themselves) run
+    # their replays serially instead of spawning grandchild pools.
+    if multiprocessing.parent_process() is not None:
+        return False
+    return True
+
+
+def _get_executor() -> ProcessPoolExecutor:
+    global _executor
+    if _executor is None:
+        ctx = multiprocessing.get_context("fork")
+        _executor = ProcessPoolExecutor(
+            max_workers=pool_workers(), mp_context=ctx
+        )
+        atexit.register(shutdown)
+    return _executor
+
+
+def shutdown() -> None:
+    """Tear the shared pool down (tests, interpreter exit)."""
+    global _executor
+    if _executor is not None:
+        _executor.shutdown(wait=True, cancel_futures=True)
+        _executor = None
+
+
+def _replay_one(task) -> Tuple[np.ndarray, object]:
+    idxs, n_sets, ways, delay, policy = task
+    return delayed_cache_hits(idxs, n_sets, ways, delay, policy=policy)
+
+
+def map_cache_replays(
+    tasks: Sequence[Tuple],
+) -> List[Tuple[np.ndarray, object]]:
+    """Run ``delayed_cache_hits`` over task tuples, fanned out when safe.
+
+    Each task is ``(idxs, n_sets, ways, delay, policy)``.  Results come
+    back in task order and are bit-identical to serial execution — the
+    replays share no state.  Single tasks and nested contexts skip the
+    pool (fork + pickle overhead would dominate).
+    """
+    tasks = list(tasks)
+    if len(tasks) <= 1 or not pool_available():
+        return [_replay_one(t) for t in tasks]
+    try:
+        return list(_get_executor().map(_replay_one, tasks))
+    except (OSError, RuntimeError):
+        # Pool creation can fail in constrained sandboxes; the serial
+        # path is always equivalent.
+        return [_replay_one(t) for t in tasks]

@@ -18,7 +18,7 @@ from repro.config import NetSparseConfig
 from repro.dessim.components import SerialLink
 from repro.dessim.nic import DesHostNic
 from repro.dessim.switch import DesSpine, DesToR
-from repro.partition import cached_partition
+from repro.partition import cached_partition, col_owner_array
 from repro.sim import Simulator
 
 __all__ = ["DesCluster", "DesResult", "run_des_gather", "run_des_rounds"]
@@ -225,7 +225,7 @@ def run_des_gather(
         nodes_per_rack=nodes_per_rack,
         k=k,
         n_cols=matrix.n_cols,
-        col_owner=part.col_owner.astype(np.int64),
+        col_owner=col_owner_array(part),
         **cluster_kw,
     )
     idxs_per_node = {
@@ -280,7 +280,7 @@ def run_des_rounds(
             nodes_per_rack=nodes_per_rack,
             k=k,
             n_cols=matrix.n_cols,
-            col_owner=part.col_owner.astype(np.int64),
+            col_owner=col_owner_array(part),
             **cluster_kw,
         )
         if keep_cache and carried is not None:

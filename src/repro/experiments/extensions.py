@@ -25,7 +25,7 @@ from repro.core.concat import DelayQueueConcatenator
 from repro.dessim import run_des_gather
 from repro.experiments.runner import ExpTable, experiment
 from repro.parallel import SimJob, simulate, simulate_many
-from repro.partition import cached_partition
+from repro.partition import cached_partition, col_owner_array
 from repro.sim import Simulator
 from repro.sparse.spgemm import spgemm_comm_analysis
 from repro.sparse.suite import (
@@ -449,7 +449,7 @@ def run_latency_profile() -> ExpTable:
         part = cached_partition(mat, 8)
         cluster = DesCluster(n_racks=2, nodes_per_rack=4, k=16,
                              n_cols=mat.n_cols,
-                             col_owner=part.col_owner.astype("int64"),
+                             col_owner=col_owner_array(part),
                              probe_latency=True)
         idxs = {
             node: tr.remote_idxs.tolist()

@@ -7,13 +7,25 @@ from repro.partition.tracecache import (
     get_trace_cache,
     set_trace_cache,
 )
+from repro.partition.windowed import (
+    ShardedOneDPartition,
+    WindowedNodeTrace,
+    build_partition,
+    col_owner_array,
+    sharded_balanced_by_nnz,
+)
 
 __all__ = [
     "NodeTrace",
     "OneDPartition",
+    "ShardedOneDPartition",
     "TraceCache",
+    "WindowedNodeTrace",
     "balanced_by_nnz",
+    "build_partition",
     "cached_partition",
+    "col_owner_array",
     "get_trace_cache",
     "set_trace_cache",
+    "sharded_balanced_by_nnz",
 ]

@@ -22,6 +22,41 @@ from repro.sparse.matrix import COOMatrix
 __all__ = ["OneDPartition", "NodeTrace"]
 
 
+def _block_starts(n: int, parts: int) -> np.ndarray:
+    """Equal-row block boundaries (first ``n % parts`` blocks +1)."""
+    base, extra = divmod(n, parts)
+    sizes = np.full(parts, base, dtype=np.int64)
+    sizes[:extra] += 1
+    starts = np.zeros(parts + 1, dtype=np.int64)
+    np.cumsum(sizes, out=starts[1:])
+    return starts
+
+
+def _balanced_row_starts(row_nnz: np.ndarray, n_rows: int,
+                         n_nodes: int) -> np.ndarray:
+    """Block boundaries at equal quantiles of the row-nnz prefix sum."""
+    prefix = np.concatenate([[0], np.cumsum(row_nnz)])
+    targets = np.linspace(0, prefix[-1], n_nodes + 1)
+    starts = np.searchsorted(prefix, targets[1:-1], side="left")
+    row_starts = np.concatenate([[0], starts, [n_rows]])
+    # Boundaries must be strictly increasing even for empty stretches.
+    for i in range(1, n_nodes + 1):
+        if row_starts[i] <= row_starts[i - 1]:
+            row_starts[i] = row_starts[i - 1] + 1
+    overflow = row_starts[-1] - n_rows
+    if overflow > 0:
+        # Push the excess back from the tail.
+        for i in range(n_nodes - 1, 0, -1):
+            if row_starts[i] > row_starts[i - 1] + 1:
+                shift = min(overflow, row_starts[i] - row_starts[i - 1] - 1)
+                row_starts[i:] = row_starts[i:] - shift  # noqa: B909
+                overflow -= shift
+            if overflow == 0:
+                break
+    row_starts[-1] = n_rows
+    return row_starts
+
+
 @dataclass
 class NodeTrace:
     """The per-node nonzero scan, in processing (row-major) order.
@@ -112,16 +147,11 @@ class OneDPartition:
         self.row_owner_of = np.searchsorted(
             self.row_starts, np.arange(matrix.n_rows), side="right"
         ) - 1
-        self._traces: Optional[List[NodeTrace]] = None
+        self._traces: Optional[List] = None
+        self._spill: Optional[tuple] = None
+        self._on_reload = None
 
-    @staticmethod
-    def _block_starts(n: int, parts: int) -> np.ndarray:
-        base, extra = divmod(n, parts)
-        sizes = np.full(parts, base, dtype=np.int64)
-        sizes[:extra] += 1
-        starts = np.zeros(parts + 1, dtype=np.int64)
-        np.cumsum(sizes, out=starts[1:])
-        return starts
+    _block_starts = staticmethod(_block_starts)
 
     def rows_of(self, node: int) -> range:
         return range(int(self.row_starts[node]), int(self.row_starts[node + 1]))
@@ -144,6 +174,8 @@ class OneDPartition:
         """
         if self._traces is not None:
             return self._traces
+        if self._spill is not None:
+            return self._reload_spilled()
         mat = self.matrix
         order = np.argsort(mat.rows * mat.n_cols + mat.cols, kind="stable")
         rows_sorted = mat.rows[order]
@@ -158,6 +190,67 @@ class OneDPartition:
             traces.append(NodeTrace(node, idxs, owner, remote))
         self._traces = traces
         return traces
+
+    # -- spill tier ----------------------------------------------------
+
+    @property
+    def is_spilled(self) -> bool:
+        return self._spill is not None
+
+    def spill(self, path: str, on_reload=None) -> int:
+        """Write the built traces' idx streams to ``path`` and drop
+        them from RAM.
+
+        The spill file is the concatenated per-node idx stream (one
+        ``.npy``); owners and remote masks are recomputed per window on
+        reload, so nothing else needs persisting.  Returns the number
+        of idx elements spilled (0 when traces were never built —
+        they'd be rebuilt from the matrix anyway).
+        """
+        if self._traces is None:
+            return 0
+        if self._spill is None:
+            traces = self._traces
+            offsets = np.zeros(self.n_nodes + 1, dtype=np.int64)
+            np.cumsum([tr.idxs.size for tr in traces], out=offsets[1:])
+            out = np.lib.format.open_memmap(
+                path, mode="w+", dtype=np.int64, shape=(int(offsets[-1]),)
+            )
+            for tr, k0 in zip(traces, offsets[:-1]):
+                out[k0:k0 + tr.idxs.size] = tr.idxs
+            out.flush()
+            del out
+            self._spill = (path, offsets)
+        spilled = int(self._spill[1][-1])
+        self._traces = None
+        self._on_reload = on_reload if on_reload is not None else self._on_reload
+        return spilled
+
+    def _reload_spilled(self) -> List:
+        from repro.partition.windowed import WindowedNodeTrace, _SpillSource
+
+        path, offsets = self._spill
+        source = _SpillSource(path)
+        self._traces = [
+            WindowedNodeTrace(p, source, offsets[p], offsets[p + 1],
+                              self.col_starts)
+            for p in range(self.n_nodes)
+        ]
+        if self._on_reload is not None:
+            self._on_reload(self)
+        return self._traces
+
+    def resident_trace_nnz(self) -> int:
+        """Idx elements currently held in RAM by this partition."""
+        if self._traces is None:
+            return 0
+        total = 0
+        for tr in self._traces:
+            if isinstance(tr, NodeTrace):
+                total += tr.idxs.size
+            else:
+                total += tr.resident_nnz()
+        return total
 
     # -- distributed property array helpers ---------------------------
 
@@ -189,23 +282,5 @@ def balanced_by_nnz(matrix: COOMatrix, n_nodes: int) -> OneDPartition:
     if n_nodes > matrix.n_rows:
         raise ValueError("more nodes than matrix rows")
     row_nnz = np.bincount(matrix.rows, minlength=matrix.n_rows)
-    prefix = np.concatenate([[0], np.cumsum(row_nnz)])
-    targets = np.linspace(0, prefix[-1], n_nodes + 1)
-    starts = np.searchsorted(prefix, targets[1:-1], side="left")
-    row_starts = np.concatenate([[0], starts, [matrix.n_rows]])
-    # Boundaries must be strictly increasing even for empty stretches.
-    for i in range(1, n_nodes + 1):
-        if row_starts[i] <= row_starts[i - 1]:
-            row_starts[i] = row_starts[i - 1] + 1
-    overflow = row_starts[-1] - matrix.n_rows
-    if overflow > 0:
-        # Push the excess back from the tail.
-        for i in range(n_nodes - 1, 0, -1):
-            if row_starts[i] > row_starts[i - 1] + 1:
-                shift = min(overflow, row_starts[i] - row_starts[i - 1] - 1)
-                row_starts[i:] = row_starts[i:] - shift  # noqa: B909
-                overflow -= shift
-            if overflow == 0:
-                break
-    row_starts[-1] = matrix.n_rows
+    row_starts = _balanced_row_starts(row_nnz, matrix.n_rows, n_nodes)
     return OneDPartition(matrix, n_nodes, row_starts=row_starts)

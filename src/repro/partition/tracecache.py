@@ -33,11 +33,19 @@ matrices it draws.
 
 Counters are exported as ``perf.trace_cache.hits`` / ``.misses`` /
 ``.evictions`` through :mod:`repro.telemetry`.
+
+When a resident-trace budget is set (``max_resident_nnz`` or the
+``REPRO_TRACE_SPILL_NNZ`` env var), least-recently-used entries spill
+their idx streams to disk instead of pinning RAM and reload lazily as
+windowed traces; the spill tier reports
+``perf.trace_cache.spill.{spills,reloads,resident_nnz}``.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import tempfile
 import threading
 from collections import OrderedDict
 from typing import Optional, Tuple
@@ -45,7 +53,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro import telemetry
-from repro.partition.oned import OneDPartition, balanced_by_nnz
+from repro.partition.oned import OneDPartition
 from repro.sparse.matrix import COOMatrix
 
 __all__ = [
@@ -59,6 +67,13 @@ __all__ = [
 DEFAULT_MAX_ENTRIES = 8
 
 
+def _default_spill_nnz() -> Optional[int]:
+    """Resident-trace budget from ``REPRO_TRACE_SPILL_NNZ`` (elements);
+    unset or empty means unlimited (no spilling)."""
+    raw = os.environ.get("REPRO_TRACE_SPILL_NNZ", "").strip()
+    return int(raw) if raw else None
+
+
 class TraceCache:
     """Bounded LRU of built :class:`OneDPartition` objects.
 
@@ -67,15 +82,26 @@ class TraceCache:
     every :class:`~repro.partition.oned.NodeTrace` cached property.
     """
 
-    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES,
+                 max_resident_nnz: Optional[int] = None,
+                 spill_dir: Optional[str] = None):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
+        #: Resident trace budget (idx elements) across all entries;
+        #: ``None`` disables the spill tier entirely.
+        self.max_resident_nnz = (
+            _default_spill_nnz() if max_resident_nnz is None
+            else int(max_resident_nnz)
+        )
+        self._spill_dir = spill_dir
         self._entries: "OrderedDict[Tuple, OneDPartition]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.spills = 0
+        self.reloads = 0
 
     @staticmethod
     def _rule_key(kind: str, row_starts: Optional[np.ndarray]) -> str:
@@ -113,12 +139,12 @@ class TraceCache:
         telemetry.count("perf.trace_cache.misses", kind=key[2])
         # Build outside the lock: trace construction is the expensive
         # part, and a duplicate build on a race is merely wasted work.
-        if row_starts is not None:
-            part = OneDPartition(matrix, n_nodes, row_starts=row_starts)
-        elif kind == "nnz":
-            part = balanced_by_nnz(matrix, n_nodes)
-        else:
-            part = OneDPartition(matrix, n_nodes)
+        # build_partition dispatches on the matrix storage tier, so
+        # sharded matrices come back with windowed (bounded) traces.
+        from repro.partition.windowed import build_partition
+
+        part = build_partition(matrix, n_nodes, kind=kind,
+                               row_starts=row_starts)
         part.node_traces()
         with self._lock:
             self._entries[key] = part
@@ -127,7 +153,54 @@ class TraceCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
                 telemetry.count("perf.trace_cache.evictions")
+            self._enforce_spill_budget(key)
         return part
+
+    # -- spill tier ----------------------------------------------------
+
+    def resident_nnz(self) -> int:
+        """Idx elements currently held in RAM across all entries."""
+        return sum(p.resident_trace_nnz() for p in self._entries.values())
+
+    def _note_reload(self, part) -> None:
+        self.reloads += 1
+        telemetry.count("perf.trace_cache.spill.reloads")
+
+    def _spill_path(self, key: Tuple) -> str:
+        if self._spill_dir is None:
+            self._spill_dir = tempfile.mkdtemp(prefix="repro-trace-spill-")
+        os.makedirs(self._spill_dir, exist_ok=True)
+        digest, n_nodes, rule = key
+        fname = f"trace-{digest}-{n_nodes}-{rule}.npy".replace(":", "-")
+        return os.path.join(self._spill_dir, fname)
+
+    def _enforce_spill_budget(self, newest_key: Tuple) -> None:
+        """Spill LRU entries' traces until the resident set fits.
+
+        Dense partitions write their idx streams to the spill dir and
+        reload them as disk-backed windows; sharded partitions just
+        release their windows (the data is already on disk).  The most
+        recently requested entry is never spilled — the caller holds it.
+        Caller must hold the lock.
+        """
+        if self.max_resident_nnz is None:
+            return
+        for key in list(self._entries):
+            if self.resident_nnz() <= self.max_resident_nnz:
+                break
+            if key == newest_key:
+                continue
+            part = self._entries[key]
+            if part.resident_trace_nnz() == 0:
+                continue
+            if hasattr(part, "release_traces"):
+                part.release_traces()
+            else:
+                part.spill(self._spill_path(key), on_reload=self._note_reload)
+            self.spills += 1
+            telemetry.count("perf.trace_cache.spill.spills")
+        telemetry.set_gauge("perf.trace_cache.spill.resident_nnz",
+                            self.resident_nnz())
 
     def clear(self) -> int:
         """Drop every entry; returns how many were held."""
@@ -147,6 +220,9 @@ class TraceCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "spills": self.spills,
+            "reloads": self.reloads,
+            "resident_nnz": self.resident_nnz(),
         }
 
 

@@ -62,6 +62,9 @@ def read_matrix_market(path: Union[str, os.PathLike]) -> COOMatrix:
 
 def write_matrix_market(matrix: COOMatrix, path: Union[str, os.PathLike]):
     """Write a COO matrix as a general coordinate Matrix Market file."""
+    from repro.sparse.shards import as_coo
+
+    matrix = as_coo(matrix)
     pattern = matrix.vals is None
     field = "pattern" if pattern else "real"
     with open(path, "w") as fh:
@@ -78,6 +81,9 @@ def write_matrix_market(matrix: COOMatrix, path: Union[str, os.PathLike]):
 
 def save_npz(matrix: COOMatrix, path: Union[str, os.PathLike]) -> None:
     """Freeze a matrix to a compressed binary snapshot."""
+    from repro.sparse.shards import as_coo
+
+    matrix = as_coo(matrix)
     payload = dict(
         n_rows=matrix.n_rows,
         n_cols=matrix.n_cols,

@@ -1,0 +1,417 @@
+"""Memory-mapped COO shard storage for out-of-core traces.
+
+The paper evaluates arabic-2005 at ~640M nonzeros; holding such a
+matrix (plus its partition traces and per-scheme selections) in one
+process's RAM is what kept the reproduction at toy scale (ROADMAP
+item 3).  This module stores a canonical COO matrix as a directory of
+bounded-size shards, each a pair of plain ``.npy`` files opened with
+``mmap_mode="r"`` — the OS pages nonzeros in and out on demand, so the
+*resident* cost of a matrix is a window, not the matrix.
+
+Layout of a shard directory::
+
+    manifest.json            # shape, nnz, digest, per-shard ranges
+    shard-00000.rows.npy     # int64, canonical (row, col) order
+    shard-00000.cols.npy
+    shard-00001.rows.npy
+    ...
+
+Invariants (enforced by :class:`ShardWriter`):
+
+- shards are *canonical*: globally sorted by ``(row, col)`` with
+  duplicates removed, exactly like
+  :meth:`repro.sparse.matrix.COOMatrix.canonicalize`;
+- shard boundaries fall on row boundaries, so any contiguous row range
+  (a 1D partition block) maps to one contiguous global nnz range;
+- :meth:`ShardedCOOMatrix.structural_digest` is byte-identical to the
+  digest of the materialized :class:`~repro.sparse.matrix.COOMatrix`,
+  so every digest-keyed cache (``TraceCache``, ``SimJob`` results)
+  treats sharded and in-memory copies of one structure as the same
+  entry — no cache-key or ``CODE_SALT`` change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+import shutil
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.sparse.matrix import COOMatrix
+
+__all__ = [
+    "DEFAULT_SHARD_NNZ",
+    "ShardWriter",
+    "ShardedCOOMatrix",
+    "as_coo",
+    "drop_pages",
+    "is_sharded",
+    "shard_root",
+    "write_sharded",
+]
+
+#: Target nonzeros per shard (~32 MB of int64 rows+cols at the default).
+DEFAULT_SHARD_NNZ = int(os.environ.get("REPRO_SHARD_NNZ", str(1 << 21)))
+
+_MANIFEST = "manifest.json"
+_SCHEMA = "repro.shards/v1"
+
+#: Digest header layout shared with COOMatrix.structural_digest.
+_DIGEST_SIZE = 16
+
+
+def drop_pages(arr: np.ndarray) -> None:
+    """Advise the kernel that a memmapped array's pages can be freed.
+
+    Keeps the *peak* resident set of streaming passes bounded even when
+    there is no memory pressure.  Best-effort: silently a no-op for
+    non-memmap arrays or platforms without ``madvise``.
+    """
+    base = arr
+    while isinstance(base, np.ndarray) and not isinstance(base, np.memmap):
+        base = base.base
+    mm = getattr(base, "_mmap", None)
+    if mm is None:
+        return
+    try:
+        if getattr(base, "mode", "r") != "r":
+            base.flush()
+        mm.madvise(mmap.MADV_DONTNEED)
+    except (AttributeError, OSError, ValueError):
+        pass
+
+
+def shard_root() -> str:
+    """Directory benchmark shard stores are generated under.
+
+    ``$REPRO_SHARD_DIR`` wins; the default lives next to the result
+    cache in the user's home so repeat runs (and forked engine workers)
+    reuse generated shards instead of regenerating them.
+    """
+    env = os.environ.get("REPRO_SHARD_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro", "shards")
+
+
+class ShardWriter:
+    """Stream canonical COO chunks into a shard directory.
+
+    ``append`` takes chunks that are already canonical (sorted,
+    deduplicated) and row-aligned — the contract
+    :func:`repro.sparse.synthetic.stream_chunks` provides.  Rows are
+    hashed incrementally as chunks arrive; columns are hashed from disk
+    at :meth:`finalize` (the digest byte order is all rows then all
+    cols, matching ``COOMatrix.structural_digest``), so no O(nnz)
+    buffer ever exists in memory.
+    """
+
+    def __init__(self, path: str, n_rows: int, n_cols: int, name: str = ""):
+        self.path = path
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.name = name
+        self.nnz = 0
+        self._shards: List[dict] = []
+        self._rows_hash = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+        self._rows_hash.update(
+            np.array([self.n_rows, self.n_cols], dtype=np.int64).tobytes()
+        )
+        self._last_row = -1
+        self._finalized = False
+        os.makedirs(path, exist_ok=True)
+
+    def append(self, rows: np.ndarray, cols: np.ndarray) -> None:
+        """Write one canonical chunk as the next shard."""
+        if self._finalized:
+            raise RuntimeError("writer already finalized")
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        cols = np.ascontiguousarray(cols, dtype=np.int64)
+        if rows.shape != cols.shape:
+            raise ValueError("rows and cols must have equal length")
+        if rows.size == 0:
+            return
+        if rows[0] < self._last_row:
+            raise ValueError(
+                "chunks must arrive in global row order "
+                f"(got row {int(rows[0])} after {self._last_row})"
+            )
+        i = len(self._shards)
+        row_path = os.path.join(self.path, f"shard-{i:05d}.rows.npy")
+        col_path = os.path.join(self.path, f"shard-{i:05d}.cols.npy")
+        np.save(row_path, rows)
+        np.save(col_path, cols)
+        self._rows_hash.update(rows.tobytes())
+        self._shards.append({
+            "nnz": int(rows.size),
+            "row_min": int(rows[0]),
+            "row_max": int(rows[-1]),
+        })
+        self.nnz += int(rows.size)
+        self._last_row = int(rows[-1])
+
+    def finalize(self) -> "ShardedCOOMatrix":
+        """Hash columns from disk, write the manifest, open the store."""
+        if self._finalized:
+            raise RuntimeError("writer already finalized")
+        h = self._rows_hash
+        for i in range(len(self._shards)):
+            cols = np.load(
+                os.path.join(self.path, f"shard-{i:05d}.cols.npy"),
+                mmap_mode="r",
+            )
+            h.update(np.ascontiguousarray(cols).tobytes())
+            drop_pages(cols)
+        manifest = {
+            "schema": _SCHEMA,
+            "name": self.name,
+            "n_rows": self.n_rows,
+            "n_cols": self.n_cols,
+            "nnz": self.nnz,
+            "digest": h.hexdigest(),
+            "shards": self._shards,
+        }
+        tmp = os.path.join(self.path, _MANIFEST + ".tmp")
+        with open(tmp, "w") as fh:
+            json.dump(manifest, fh, indent=1)
+            fh.write("\n")
+        os.replace(tmp, os.path.join(self.path, _MANIFEST))
+        self._finalized = True
+        return ShardedCOOMatrix(self.path)
+
+
+def write_sharded(
+    path: str,
+    n_rows: int,
+    n_cols: int,
+    chunks: Iterable[Tuple[np.ndarray, np.ndarray]],
+    name: str = "",
+) -> "ShardedCOOMatrix":
+    """Drain a canonical chunk iterator into a new shard store.
+
+    Written to a sibling temp directory and atomically renamed into
+    place, so concurrent writers (forked engine workers racing to
+    generate the same benchmark) cannot observe a half-written store.
+    """
+    if os.path.exists(os.path.join(path, _MANIFEST)):
+        return ShardedCOOMatrix(path)
+    tmp = path + f".tmp-{os.getpid()}"
+    if os.path.exists(tmp):
+        shutil.rmtree(tmp)
+    writer = ShardWriter(tmp, n_rows, n_cols, name=name)
+    try:
+        for rows, cols in chunks:
+            writer.append(rows, cols)
+        writer.finalize()
+        try:
+            os.replace(tmp, path)
+        except OSError:
+            # Lost the race: another process renamed its copy first.
+            shutil.rmtree(tmp, ignore_errors=True)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    return ShardedCOOMatrix(path)
+
+
+class ShardedCOOMatrix:
+    """Read side of a shard directory — a bounded-memory COOMatrix stand-in.
+
+    Exposes the subset of :class:`~repro.sparse.matrix.COOMatrix` the
+    trace pipeline needs (``n_rows``/``n_cols``/``nnz``/``name``/
+    ``structural_digest``) plus windowed accessors.  Deliberately does
+    *not* expose ``.rows``/``.cols`` arrays: anything that would
+    materialize the whole matrix must go through :meth:`to_coo` and say
+    so.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        with open(os.path.join(path, _MANIFEST)) as fh:
+            manifest = json.load(fh)
+        if manifest.get("schema") != _SCHEMA:
+            raise ValueError(
+                f"{path}: unsupported shard schema {manifest.get('schema')!r}"
+            )
+        self.name: str = manifest["name"]
+        self.n_rows: int = int(manifest["n_rows"])
+        self.n_cols: int = int(manifest["n_cols"])
+        self._nnz: int = int(manifest["nnz"])
+        self._digest: str = manifest["digest"]
+        self._shard_meta: List[dict] = manifest["shards"]
+        #: Global nnz offset of each shard boundary (len n_shards + 1).
+        self.shard_offsets = np.concatenate([
+            [0], np.cumsum([s["nnz"] for s in self._shard_meta]),
+        ]).astype(np.int64)
+
+    # -- COOMatrix-compatible surface ---------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    @property
+    def shape(self) -> tuple:
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shard_meta)
+
+    @property
+    def resident_nnz(self) -> int:
+        """Weight for RAM-budgeted memos: metadata only, ~zero."""
+        return 0
+
+    def structural_digest(self) -> str:
+        """Identical to the materialized COOMatrix's digest (manifest-
+        cached, computed incrementally at write time)."""
+        return self._digest
+
+    # -- windowed access ----------------------------------------------
+
+    def shard_rows(self, i: int) -> np.ndarray:
+        return np.load(
+            os.path.join(self.path, f"shard-{i:05d}.rows.npy"), mmap_mode="r"
+        )
+
+    def shard_cols(self, i: int) -> np.ndarray:
+        return np.load(
+            os.path.join(self.path, f"shard-{i:05d}.cols.npy"), mmap_mode="r"
+        )
+
+    def iter_chunks(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield each shard's ``(rows, cols)`` memmaps in global order."""
+        for i in range(self.n_shards):
+            yield self.shard_rows(i), self.shard_cols(i)
+
+    def nnz_before_row(self, row: int) -> int:
+        """Global nnz offset of the first nonzero with ``rows >= row``.
+
+        Row-major canonical order makes this a shard bisection plus one
+        in-shard ``searchsorted`` — O(log) pages touched.
+        """
+        if row <= 0:
+            return 0
+        if row > self.n_rows:
+            raise ValueError(f"row {row} out of range")
+        lo = 0
+        for i, meta in enumerate(self._shard_meta):
+            if meta["row_min"] >= row:
+                return int(self.shard_offsets[i])
+            if meta["row_max"] >= row:
+                rows = self.shard_rows(i)
+                off = int(np.searchsorted(rows, row, side="left"))
+                drop_pages(rows)
+                return int(self.shard_offsets[i]) + off
+            lo = int(self.shard_offsets[i + 1])
+        return lo
+
+    def cols_slice(self, start: int, stop: int) -> np.ndarray:
+        """Materialize ``cols[start:stop]`` of the canonical stream.
+
+        The caller bounds the window (a 1D partition block, a kernel
+        batch); only the shards overlapping it are touched.
+        """
+        if not 0 <= start <= stop <= self._nnz:
+            raise ValueError(f"bad nnz window [{start}, {stop})")
+        if start == stop:
+            return np.zeros(0, dtype=np.int64)
+        first = int(np.searchsorted(self.shard_offsets, start, "right")) - 1
+        out = np.empty(stop - start, dtype=np.int64)
+        filled = 0
+        for i in range(first, self.n_shards):
+            s0 = int(self.shard_offsets[i])
+            if s0 >= stop:
+                break
+            cols = self.shard_cols(i)
+            a = max(start - s0, 0)
+            b = min(stop - s0, cols.shape[0])
+            out[filled:filled + (b - a)] = cols[a:b]
+            filled += b - a
+            drop_pages(cols)
+        telemetry.count("sparse.shards.window_nnz", int(out.size))
+        return out
+
+    def row_nnz(self) -> np.ndarray:
+        """Per-row nonzero counts, accumulated one shard at a time
+        (for nnz-balanced partitioning)."""
+        counts = np.zeros(self.n_rows, dtype=np.int64)
+        for rows, _ in self.iter_chunks():
+            counts += np.bincount(rows, minlength=self.n_rows)
+            drop_pages(rows)
+        return counts
+
+    def unique_col_count(self) -> int:
+        """Number of distinct columns, one shard resident at a time.
+
+        A presence bitmap over ``n_cols`` costs one byte per column —
+        cheap even at paper scale — versus concatenating every shard.
+        """
+        seen = np.zeros(self.n_cols, dtype=bool)
+        for _, cols in self.iter_chunks():
+            seen[cols] = True
+            drop_pages(cols)
+        return int(np.count_nonzero(seen))
+
+    def to_coo(self) -> COOMatrix:
+        """Materialize the whole matrix in RAM (tests, small stores)."""
+        rows = np.concatenate(
+            [np.asarray(r) for r, _ in self.iter_chunks()]
+        ) if self.n_shards else np.zeros(0, dtype=np.int64)
+        cols = np.concatenate(
+            [np.asarray(c) for _, c in self.iter_chunks()]
+        ) if self.n_shards else np.zeros(0, dtype=np.int64)
+        mat = COOMatrix(self.n_rows, self.n_cols, rows, cols, None, self.name)
+        mat._structural_digest = self._digest
+        return mat
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ShardedCOOMatrix({self.name!r}, {self.n_rows}x"
+                f"{self.n_cols}, nnz={self._nnz}, shards={self.n_shards})")
+
+
+def is_sharded(matrix) -> bool:
+    """Duck-typed check used by the partition/cache layers."""
+    return isinstance(matrix, ShardedCOOMatrix)
+
+
+def as_coo(matrix) -> COOMatrix:
+    """Densifying escape hatch for paths that need full ``rows``/``cols``
+    arrays (packet-level DES construction, edge sampling).
+
+    Dense matrices pass through untouched.  For sharded ones this
+    trades the bounded resident set for whole-array access — callers
+    on the model's hot path should use the windowed APIs instead.
+    """
+    return matrix.to_coo() if is_sharded(matrix) else matrix
+
+
+def from_coo(
+    matrix: COOMatrix, path: str, shard_nnz: Optional[int] = None
+) -> ShardedCOOMatrix:
+    """Shard an in-memory canonical matrix (tests, imported matrices).
+
+    Chunk boundaries are pushed to the next row boundary so the
+    row-alignment invariant holds.
+    """
+    shard_nnz = shard_nnz or DEFAULT_SHARD_NNZ
+
+    def chunks():
+        rows, cols = matrix.rows, matrix.cols
+        start = 0
+        while start < matrix.nnz:
+            stop = min(start + shard_nnz, matrix.nnz)
+            if stop < matrix.nnz:
+                # extend to include all of the row straddling the cut
+                stop = int(np.searchsorted(rows, rows[stop - 1], "right"))
+            yield rows[start:stop], cols[start:stop]
+            start = stop
+
+    return write_sharded(path, matrix.n_rows, matrix.n_cols, chunks(),
+                         name=matrix.name)

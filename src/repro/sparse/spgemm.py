@@ -19,12 +19,14 @@ import numpy as np
 from repro.core.filtering import filter_and_coalesce
 from repro.partition import OneDPartition
 from repro.sparse.matrix import COOMatrix, CSRMatrix
+from repro.sparse.shards import as_coo
 
 __all__ = ["spgemm", "SpGemmCommStats", "spgemm_comm_analysis"]
 
 
 def spgemm(a: COOMatrix, b: COOMatrix) -> CSRMatrix:
     """Reference sparse x sparse multiplication (via scipy)."""
+    a, b = as_coo(a), as_coo(b)
     if a.n_cols != b.n_rows:
         raise ValueError(
             f"inner dimensions differ: {a.n_cols} vs {b.n_rows}"
@@ -72,6 +74,7 @@ def spgemm_comm_analysis(
     Pending PR Table apply verbatim.  Payloads differ: row j of B costs
     ``nnz(B[j]) * bytes_per_nonzero`` wire bytes.
     """
+    a, b = as_coo(a), as_coo(b)
     if a.n_cols != b.n_rows:
         raise ValueError("inner dimensions differ")
     part = OneDPartition(a, n_nodes)

@@ -12,18 +12,41 @@ Scales
 ``tiny``    ~100k nnz total per matrix — unit tests.
 ``small``   ~1–2M nnz — default for the experiment harness.
 ``medium``  ~4–8M nnz — closer structural statistics, minutes per run.
+``large``   ~10–20M nnz per matrix — sharded by default; the CI-budget
+            paper-shaped sweep (Table 7 / Fig. 11 scale behavior).
+``paper``   the original Table-6 row counts — sharded by default; only
+            generation and trace extraction are expected to fit, and
+            only out-of-core.
+
+Matrices at sharded scales are generated chunk-by-chunk
+(:func:`repro.sparse.synthetic.stream_chunks`) straight into an on-disk
+shard store (:mod:`repro.sparse.shards`) and come back as
+:class:`~repro.sparse.shards.ShardedCOOMatrix` — same
+``structural_digest`` as the in-memory twin, bounded resident set.
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Callable, Dict
+from typing import Callable, Dict, Iterator, Optional, Set, Tuple
 
+import numpy as np
+
+from repro import telemetry
 from repro.sparse.matrix import COOMatrix
 from repro.sparse import synthetic
 
-__all__ = ["BenchmarkSpec", "BENCHMARKS", "MATRIX_NAMES", "load_benchmark"]
+__all__ = [
+    "BenchmarkSpec",
+    "BENCHMARKS",
+    "MATRIX_NAMES",
+    "MatrixMemo",
+    "load_benchmark",
+    "sharded_scales",
+    "suite_cache_stats",
+]
 
 #: Canonical matrix order used in every paper table.
 MATRIX_NAMES = ("arabic", "europe", "queen", "stokes", "uk")
@@ -52,7 +75,37 @@ _SCALE_ROWS: Dict[str, Dict[str, int]] = {
         "stokes": 1 << 18,
         "uk": 1 << 19,
     },
+    "large": {
+        "arabic": 1 << 20,
+        "europe": 1 << 23,
+        "queen": 1 << 18,
+        "stokes": 1 << 19,
+        "uk": 1 << 20,
+    },
+    "paper": {
+        "arabic": 23_000_000,
+        "europe": 51_000_000,
+        "queen": 4_000_000,
+        "stokes": 11_000_000,
+        "uk": 19_000_000,
+    },
 }
+
+#: Scales whose matrices load sharded (out-of-core) by default.
+_SHARDED_SCALES = ("large", "paper")
+
+
+def sharded_scales() -> Set[str]:
+    """Scales that default to sharded loading.
+
+    ``REPRO_SHARDED_SCALES`` (comma-separated) adds scales — e.g.
+    ``REPRO_SHARDED_SCALES=tiny`` forces the out-of-core path in unit
+    tests without paying large-scale generation time.
+    """
+    extra = os.environ.get("REPRO_SHARDED_SCALES", "")
+    out = set(_SHARDED_SCALES)
+    out.update(s.strip() for s in extra.split(",") if s.strip())
+    return out
 
 
 @dataclass(frozen=True)
@@ -85,6 +138,17 @@ class BenchmarkSpec:
         n = self.rows_for_scale(scale)
         mat = self.generator(n=n, seed=seed, name=self.name, **self.gen_kwargs)
         return mat
+
+    def stream(
+        self, scale: str = "small", seed: int = 7,
+        chunk_nnz: Optional[int] = None,
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Canonical chunk stream, bit-identical to :meth:`generate`."""
+        n = self.rows_for_scale(scale)
+        return synthetic.stream_chunks(
+            self.generator, n=n, seed=seed, chunk_nnz=chunk_nnz,
+            name=self.name, **self.gen_kwargs,
+        )
 
 
 BENCHMARKS: Dict[str, BenchmarkSpec] = {
@@ -138,12 +202,106 @@ BENCHMARKS: Dict[str, BenchmarkSpec] = {
 }
 
 
-@lru_cache(maxsize=32)
-def _load_cached(name: str, scale: str, seed: int) -> COOMatrix:
-    return BENCHMARKS[name].generate(scale=scale, seed=seed)
+#: Resident-nnz budget for the suite memo.  In-memory matrices weigh
+#: their full nnz; sharded matrices weigh only their resident windows
+#: (~0), so out-of-core loads never evict anything.
+DEFAULT_MEMO_NNZ = int(os.environ.get("REPRO_SUITE_CACHE_NNZ",
+                                      str(64 * 1024 * 1024)))
 
 
-def load_benchmark(name: str, scale: str = "small", seed: int = 7) -> COOMatrix:
+class MatrixMemo:
+    """Weight-aware LRU memo for loaded benchmark matrices.
+
+    ``lru_cache(maxsize=32)`` counted *entries*; 32 ``large`` matrices
+    would pin gigabytes.  This memo counts *resident nonzeros* and
+    evicts least-recently-used entries once the budget is exceeded.
+    The most recent entry always stays, even oversized — callers hold a
+    reference to it anyway, so evicting it would save nothing.
+    """
+
+    def __init__(self, max_resident_nnz: Optional[int] = None):
+        self.max_resident_nnz = (
+            DEFAULT_MEMO_NNZ if max_resident_nnz is None else int(max_resident_nnz)
+        )
+        self._entries: "OrderedDict[tuple, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _weight(matrix) -> int:
+        resident = getattr(matrix, "resident_nnz", None)
+        return int(matrix.nnz if resident is None else resident)
+
+    def resident_nnz(self) -> int:
+        return sum(self._weight(m) for m in self._entries.values())
+
+    def get_or_load(self, key: tuple, loader: Callable[[], object]):
+        mat = self._entries.get(key)
+        if mat is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            telemetry.count("sparse.suite.cache.hits")
+            return mat
+        self.misses += 1
+        telemetry.count("sparse.suite.cache.misses")
+        mat = loader()
+        self._entries[key] = mat
+        self._enforce_budget()
+        telemetry.set_gauge("sparse.suite.cache.resident_nnz",
+                            self.resident_nnz())
+        return mat
+
+    def _enforce_budget(self) -> None:
+        while (len(self._entries) > 1
+               and self.resident_nnz() > self.max_resident_nnz):
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            telemetry.count("sparse.suite.cache.evictions")
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "resident_nnz": self.resident_nnz(),
+            "max_resident_nnz": self.max_resident_nnz,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+_memo = MatrixMemo()
+
+
+def suite_cache_stats() -> Dict[str, int]:
+    """Snapshot of the process-wide benchmark memo."""
+    return _memo.stats()
+
+
+def _load_sharded(name: str, scale: str, seed: int):
+    """Load (or stream-generate) the on-disk sharded twin of a matrix.
+
+    Shard directories are content-addressed by (name, scale, seed)
+    under :func:`repro.sparse.shards.shard_root`, so repeated loads —
+    including from engine worker processes — reuse one generation pass.
+    """
+    from repro.sparse import shards
+
+    spec = BENCHMARKS[name]
+    n = spec.rows_for_scale(scale)
+    path = os.path.join(shards.shard_root(), f"{name}-{scale}-s{seed}")
+    if os.path.exists(os.path.join(path, "manifest.json")):
+        return shards.ShardedCOOMatrix(path)
+    return shards.write_sharded(
+        path, n, n, spec.stream(scale=scale, seed=seed), name=name
+    )
+
+
+def load_benchmark(name: str, scale: str = "small", seed: int = 7,
+                   sharded: Optional[bool] = None):
     """Generate (and memoize) a benchmark matrix or workload trace.
 
     Names beginning with ``wl:`` are workload round traces
@@ -151,6 +309,12 @@ def load_benchmark(name: str, scale: str = "small", seed: int = 7) -> COOMatrix:
     :func:`repro.workloads.load_workload_trace`, so jobs referencing
     either kind of matrix resolve through this one front door — the
     execution engine's worker processes rely on that.
+
+    ``sharded`` picks the storage tier: ``True`` returns an on-disk
+    :class:`~repro.sparse.shards.ShardedCOOMatrix`, ``False`` the
+    in-memory :class:`COOMatrix`, and ``None`` (default) shards exactly
+    the scales in :func:`sharded_scales`.  Both tiers share one
+    ``structural_digest``, so partition-trace cache keys are identical.
 
     Raises ``KeyError`` with the available names for typos.
     """
@@ -160,7 +324,17 @@ def load_benchmark(name: str, scale: str = "small", seed: int = 7) -> COOMatrix:
         return load_workload_trace(name, scale=scale, seed=seed)
     if name not in BENCHMARKS:
         raise KeyError(f"unknown benchmark {name!r}; available: {MATRIX_NAMES}")
-    return _load_cached(name, scale, seed)
+    if sharded is None:
+        sharded = scale in sharded_scales()
+    if sharded:
+        return _memo.get_or_load(
+            (name, scale, seed, "sharded"),
+            lambda: _load_sharded(name, scale, seed),
+        )
+    return _memo.get_or_load(
+        (name, scale, seed, "dense"),
+        lambda: BENCHMARKS[name].generate(scale=scale, seed=seed),
+    )
 
 
 def scale_factor(name: str, matrix: COOMatrix) -> float:

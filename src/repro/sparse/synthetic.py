@@ -27,9 +27,30 @@ Matrix                Structure reproduced
 ====================  =========================================================
 
 All generators are deterministic given a seed and fully vectorized.
+
+Chunk-streamed twins
+--------------------
+Every generator also has a ``*_chunks`` twin
+(:func:`web_crawl_chunks` …) that yields canonical ``(rows, cols)``
+chunks whose concatenation is **bit-identical** to
+``generator(...).canonicalize()`` — same seed, same draws, same digest
+— while never holding an O(nnz) array in RAM.  The trick: numpy
+``Generator`` draws consume the bit stream sequentially per value, so
+a full-array draw equals the concatenation of chunked draws.  The
+one-shot implementations draw several full nnz-length arrays in a
+fixed order before combining them, so the streamed twins replay each
+draw chunk-by-chunk into a disk-backed scratch memmap (preserving the
+exact consumption order) and then combine aligned windows.  Chunk
+boundaries always fall on row boundaries, which makes per-chunk
+canonicalization equal to global canonicalization (duplicates of a
+``(row, col)`` key can only live inside one row).
 """
 
 from __future__ import annotations
+
+import os
+import tempfile
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -40,9 +61,17 @@ __all__ = [
     "road_network",
     "banded_fem",
     "coupled_flow",
+    "web_crawl_chunks",
+    "road_network_chunks",
+    "banded_fem_chunks",
+    "coupled_flow_chunks",
+    "stream_chunks",
     "power_law_degrees",
     "zipf_sample",
 ]
+
+#: Default nonzeros per streamed chunk (~32 MB of rows+cols at int64).
+DEFAULT_CHUNK_NNZ = int(os.environ.get("REPRO_CHUNK_NNZ", str(1 << 21)))
 
 
 def power_law_degrees(
@@ -76,14 +105,20 @@ def zipf_sample(
     which avoids the unbounded-support rejection loop of
     ``Generator.zipf`` and is reproducible across numpy versions.
     """
+    cdf = _zipf_cdf(n_values, alpha)
+    u = rng.random(size)
+    return np.searchsorted(cdf, u, side="left").astype(np.int64)
+
+
+def _zipf_cdf(n_values: int, alpha: float) -> np.ndarray:
+    """Exact finite-Zipf CDF shared by one-shot and streamed samplers."""
     if n_values <= 0:
         raise ValueError("n_values must be positive")
     ranks = np.arange(1, n_values + 1, dtype=np.float64)
     weights = ranks ** (-alpha)
     cdf = np.cumsum(weights)
     cdf /= cdf[-1]
-    u = rng.random(size)
-    return np.searchsorted(cdf, u, side="left").astype(np.int64)
+    return cdf
 
 
 def _signs(rng: np.random.Generator, size: int) -> np.ndarray:
@@ -248,3 +283,272 @@ def coupled_flow(
     offsets = np.where(use_coupling, coupled, in_band)
     cols = np.clip(rows + offsets, 0, n - 1)
     return COOMatrix(n, n, rows, cols, None, name).canonicalize()
+
+
+# ---------------------------------------------------------------------
+# chunk-streamed generation
+# ---------------------------------------------------------------------
+
+
+class _Scratch:
+    """Disk-backed replay buffer for full-length rng draws.
+
+    ``draw(fn)`` fills an nnz-length memmap chunk-by-chunk — consuming
+    the generator's bit stream exactly as one ``fn(nnz)`` call would —
+    and returns it reopened read-only, so the combining pass below can
+    window into it without an O(nnz) resident array.
+    """
+
+    def __init__(self, directory: str, total: int, chunk: int):
+        self.dir = directory
+        self.total = int(total)
+        self.chunk = max(int(chunk), 1)
+        self._n = 0
+
+    def draw(self, fn, dtype=np.float64) -> np.ndarray:
+        from repro.sparse.shards import drop_pages
+
+        path = os.path.join(self.dir, f"scratch-{self._n}.npy")
+        self._n += 1
+        out = np.lib.format.open_memmap(
+            path, mode="w+", dtype=dtype, shape=(self.total,)
+        )
+        off = 0
+        while off < self.total:
+            m = min(self.chunk, self.total - off)
+            out[off:off + m] = fn(m)
+            off += m
+        drop_pages(out)
+        del out
+        return np.load(path, mmap_mode="r")
+
+
+def _row_chunk_plan(degrees: np.ndarray, chunk_nnz: int):
+    """Row-aligned chunk windows ``(r0, r1, k0, k1)`` of ~chunk_nnz
+    nonzeros (a single row larger than the budget gets its own chunk)."""
+    n = degrees.size
+    prefix = np.concatenate([[0], np.cumsum(degrees, dtype=np.int64)])
+    r0 = 0
+    while r0 < n:
+        target = prefix[r0] + max(int(chunk_nnz), 1)
+        r1 = int(np.searchsorted(prefix, target, side="right")) - 1
+        r1 = min(max(r1, r0 + 1), n)
+        yield r0, r1, int(prefix[r0]), int(prefix[r1])
+        r0 = r1
+
+
+def _canonical_chunk(
+    n_cols: int, rows: np.ndarray, cols: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-chunk mirror of :meth:`COOMatrix.canonicalize` (same sort
+    key, same stable order, same first-occurrence dedup)."""
+    keys = rows * n_cols + cols
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    keep = np.ones(keys.size, dtype=bool)
+    keep[1:] = keys[1:] != keys[:-1]
+    sel = order[keep]
+    return rows[sel], cols[sel]
+
+
+def _rows_of_window(r0: int, r1: int, degrees: np.ndarray) -> np.ndarray:
+    return np.repeat(np.arange(r0, r1, dtype=np.int64), degrees[r0:r1])
+
+
+def web_crawl_chunks(
+    n: int,
+    mean_degree: float = 24.0,
+    locality: float = 0.75,
+    block_size: int = 512,
+    hub_alpha: float = 1.5,
+    page_alpha: float = 1.3,
+    hub_block_size: int = 32,
+    escape_frac: float = 0.05,
+    seed: int = 0,
+    name: str = "web",
+    chunk_nnz: Optional[int] = None,
+    scratch_dir: Optional[str] = None,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Streamed twin of :func:`web_crawl` (bit-identical chunks)."""
+    chunk_nnz = chunk_nnz or DEFAULT_CHUNK_NNZ
+    rng = np.random.default_rng(seed)
+    n_hub_blocks = max(n // (hub_block_size * 8), 8)
+    degrees = power_law_degrees(rng, n, mean_degree)
+    n_blocks = (n + block_size - 1) // block_size
+    block_boost = rng.lognormal(mean=0.0, sigma=0.8, size=n_blocks)
+    degrees = np.maximum(
+        (degrees * block_boost[np.arange(n) // block_size]).astype(np.int64), 1
+    )
+    nnz = int(degrees.sum())
+    with tempfile.TemporaryDirectory(
+        prefix="repro-gen-", dir=scratch_dir
+    ) as tmp:
+        scratch = _Scratch(tmp, nnz, chunk_nnz)
+        u_local = scratch.draw(rng.random)
+        u_cols_local = scratch.draw(rng.random)
+        hub_block_base = rng.permutation(n - hub_block_size)[:n_hub_blocks]
+        n_src_blocks = (n + block_size - 1) // block_size
+        primary_of_block = zipf_sample(rng, n_hub_blocks, n_src_blocks,
+                                       hub_alpha)
+        u_per_link = scratch.draw(rng.random)
+        u_escape = scratch.draw(rng.random)
+        u_page = scratch.draw(rng.random)
+        cdf_hub = _zipf_cdf(n_hub_blocks, hub_alpha)
+        cdf_page = _zipf_cdf(hub_block_size, page_alpha)
+
+        for r0, r1, k0, k1 in _row_chunk_plan(degrees, chunk_nnz):
+            rows = _rows_of_window(r0, r1, degrees)
+            local_mask = u_local[k0:k1] < locality
+            block_starts = (rows // block_size) * block_size
+            block_lens = np.minimum(block_size, n - block_starts)
+            cols_local = block_starts + (
+                u_cols_local[k0:k1] * block_lens
+            ).astype(np.int64)
+            per_link = np.searchsorted(
+                cdf_hub, u_per_link[k0:k1], side="left"
+            ).astype(np.int64)
+            use_per_link = u_escape[k0:k1] < escape_frac
+            chosen = np.where(
+                use_per_link, per_link, primary_of_block[rows // block_size]
+            )
+            page_in_block = np.searchsorted(
+                cdf_page, u_page[k0:k1], side="left"
+            ).astype(np.int64)
+            cols_hub = hub_block_base[chosen] + page_in_block
+            cols = np.where(local_mask, cols_local, cols_hub)
+            yield _canonical_chunk(n, rows, cols)
+
+
+def road_network_chunks(
+    n: int,
+    mean_degree: float = 2.2,
+    long_range_frac: float = 0.12,
+    min_long: int = 64,
+    max_long_frac: float = 1 / 32,
+    seed: int = 0,
+    name: str = "road",
+    chunk_nnz: Optional[int] = None,
+    scratch_dir: Optional[str] = None,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Streamed twin of :func:`road_network` (bit-identical chunks)."""
+    chunk_nnz = chunk_nnz or DEFAULT_CHUNK_NNZ
+    rng = np.random.default_rng(seed)
+    degrees = rng.poisson(mean_degree, size=n).astype(np.int64)
+    degrees[degrees < 1] = 1
+    nnz = int(degrees.sum())
+    with tempfile.TemporaryDirectory(
+        prefix="repro-gen-", dir=scratch_dir
+    ) as tmp:
+        scratch = _Scratch(tmp, nnz, chunk_nnz)
+        short_mag = scratch.draw(
+            lambda m: rng.integers(1, 4, size=m), dtype=np.int64
+        )
+        short_sign = scratch.draw(lambda m: _signs(rng, m), dtype=np.int64)
+        max_long = max(int(n * max_long_frac), min_long * 2)
+        log_mag = scratch.draw(
+            lambda m: rng.uniform(np.log(min_long), np.log(max_long), size=m)
+        )
+        long_sign = scratch.draw(lambda m: _signs(rng, m), dtype=np.int64)
+        u_long = scratch.draw(rng.random)
+
+        for r0, r1, k0, k1 in _row_chunk_plan(degrees, chunk_nnz):
+            rows = _rows_of_window(r0, r1, degrees)
+            short = short_mag[k0:k1] * short_sign[k0:k1]
+            long = np.exp(log_mag[k0:k1]).astype(np.int64) * long_sign[k0:k1]
+            use_long = u_long[k0:k1] < long_range_frac
+            offsets = np.where(use_long, long, short)
+            cols = np.clip(rows + offsets, 0, n - 1)
+            yield _canonical_chunk(n, rows, cols)
+
+
+def banded_fem_chunks(
+    n: int,
+    mean_degree: float = 48.0,
+    band: int = 160,
+    seed: int = 0,
+    name: str = "fem",
+    chunk_nnz: Optional[int] = None,
+    scratch_dir: Optional[str] = None,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Streamed twin of :func:`banded_fem` (bit-identical chunks).
+
+    The one-shot generator makes a single nnz-length draw, so this
+    twin streams it directly — no scratch files at all.
+    """
+    chunk_nnz = chunk_nnz or DEFAULT_CHUNK_NNZ
+    rng = np.random.default_rng(seed)
+    degrees = np.maximum(
+        rng.normal(mean_degree, mean_degree / 8, size=n).astype(np.int64), 4
+    )
+    for r0, r1, k0, k1 in _row_chunk_plan(degrees, chunk_nnz):
+        rows = _rows_of_window(r0, r1, degrees)
+        offsets = rng.integers(-band, band + 1, size=k1 - k0)
+        cols = np.clip(rows + offsets, 0, n - 1)
+        yield _canonical_chunk(n, rows, cols)
+
+
+def coupled_flow_chunks(
+    n: int,
+    mean_degree: float = 26.0,
+    band: int = 48,
+    n_fields: int = 3,
+    coupling_frac: float = 0.3,
+    seed: int = 0,
+    name: str = "flow",
+    chunk_nnz: Optional[int] = None,
+    scratch_dir: Optional[str] = None,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Streamed twin of :func:`coupled_flow` (bit-identical chunks)."""
+    chunk_nnz = chunk_nnz or DEFAULT_CHUNK_NNZ
+    rng = np.random.default_rng(seed)
+    if n_fields < 2:
+        raise ValueError("need at least two fields for coupling")
+    degrees = np.maximum(
+        rng.normal(mean_degree, mean_degree / 6, size=n).astype(np.int64), 3
+    )
+    nnz = int(degrees.sum())
+    seg = n // n_fields
+    with tempfile.TemporaryDirectory(
+        prefix="repro-gen-", dir=scratch_dir
+    ) as tmp:
+        scratch = _Scratch(tmp, nnz, chunk_nnz)
+        in_band = scratch.draw(
+            lambda m: rng.integers(-band, band + 1, size=m), dtype=np.int64
+        )
+        jitter = scratch.draw(
+            lambda m: rng.integers(-band, band + 1, size=m), dtype=np.int64
+        )
+        # use_coupling is the last draw: stream it inline per chunk.
+        for r0, r1, k0, k1 in _row_chunk_plan(degrees, chunk_nnz):
+            rows = _rows_of_window(r0, r1, degrees)
+            field_of_row = np.minimum(rows // seg, n_fields - 1)
+            shift = np.where(
+                field_of_row < n_fields - 1, seg, -(n_fields - 1) * seg
+            )
+            coupled = shift + jitter[k0:k1]
+            use_coupling = rng.random(k1 - k0) < coupling_frac
+            offsets = np.where(use_coupling, coupled, in_band[k0:k1])
+            cols = np.clip(rows + offsets, 0, n - 1)
+            yield _canonical_chunk(n, rows, cols)
+
+
+#: One-shot generator -> streamed twin.
+CHUNK_GENERATORS = {
+    web_crawl: web_crawl_chunks,
+    road_network: road_network_chunks,
+    banded_fem: banded_fem_chunks,
+    coupled_flow: coupled_flow_chunks,
+}
+
+
+def stream_chunks(generator, n: int, seed: int = 0,
+                  chunk_nnz: Optional[int] = None,
+                  **gen_kwargs) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Canonical chunk stream for any registered one-shot generator."""
+    try:
+        streamer = CHUNK_GENERATORS[generator]
+    except KeyError:
+        raise ValueError(
+            f"no streamed twin registered for {generator!r}"
+        ) from None
+    return streamer(n=n, seed=seed, chunk_nnz=chunk_nnz, **gen_kwargs)

@@ -55,7 +55,9 @@ class TestBackendSwitch:
     def test_default_tracks_environment(self):
         assert kernels.get_backend() in kernels.BACKENDS
         assert kernels.get_backend() == _ENV_BACKEND
-        assert kernels.is_fast() == (_ENV_BACKEND == "fast")
+        # "pool" still runs the fast kernels — only fanned out.
+        assert kernels.is_fast() == (_ENV_BACKEND != "reference")
+        assert kernels.is_pool() == (_ENV_BACKEND == "pool")
 
     def test_set_backend_returns_previous(self):
         other = "reference" if _ENV_BACKEND == "fast" else "fast"
@@ -66,6 +68,12 @@ class TestBackendSwitch:
             assert kernels.is_fast() == (other == "fast")
         finally:
             kernels.set_backend(prev)
+        assert kernels.get_backend() == _ENV_BACKEND
+
+    def test_pool_backend_is_fast(self):
+        with kernels.use_backend("pool"):
+            assert kernels.is_fast()
+            assert kernels.is_pool()
         assert kernels.get_backend() == _ENV_BACKEND
 
     def test_use_backend_restores_on_error(self):
@@ -439,7 +447,7 @@ class TestTraceCache:
 
     def test_stats_snapshot(self):
         cache = TraceCache(max_entries=3)
-        cache.get_partition(random_matrix(seed=6), 4)
+        part = cache.get_partition(random_matrix(seed=6), 4)
         snap = cache.stats()
         assert snap == {
             "entries": 1,
@@ -447,7 +455,11 @@ class TestTraceCache:
             "hits": 0,
             "misses": 1,
             "evictions": 0,
+            "spills": 0,
+            "reloads": 0,
+            "resident_nnz": part.resident_trace_nnz(),
         }
+        assert snap["resident_nnz"] > 0
         assert cache.clear() == 1
         assert len(cache) == 0
 

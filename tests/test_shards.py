@@ -1,0 +1,243 @@
+"""Shard store + streamed generation determinism (tests for the
+out-of-core trace pipeline's storage layer).
+
+The load-bearing invariant: a matrix generated chunk-by-chunk into the
+shard store is **bit-identical** — same canonical nonzero stream, same
+``structural_digest`` — to the one-shot in-memory generator, so every
+existing partition-trace cache key stays valid across storage tiers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.partition import (
+    ShardedOneDPartition,
+    balanced_by_nnz,
+    build_partition,
+    sharded_balanced_by_nnz,
+)
+from repro.sparse import synthetic
+from repro.sparse.matrix import COOMatrix
+from repro.sparse.shards import (
+    ShardedCOOMatrix,
+    drop_pages,
+    from_coo,
+    is_sharded,
+    write_sharded,
+)
+from repro.sparse.suite import BENCHMARKS, load_benchmark
+
+GENERATOR_CASES = [
+    (synthetic.web_crawl, dict(n=3000, mean_degree=10.0, locality=0.7,
+                               block_size=128, escape_frac=0.08, seed=3)),
+    (synthetic.road_network, dict(n=12000, mean_degree=2.2,
+                                  long_range_frac=0.25, seed=5)),
+    (synthetic.banded_fem, dict(n=2000, mean_degree=18.0, band=40, seed=7)),
+    (synthetic.coupled_flow, dict(n=2700, mean_degree=12.0, band=24,
+                                  n_fields=3, coupling_frac=0.3, seed=9)),
+]
+
+
+@pytest.fixture()
+def shard_env(tmp_path, monkeypatch):
+    """Isolated shard root + a cleared suite memo for every test."""
+    from repro.sparse import suite
+
+    monkeypatch.setenv("REPRO_SHARD_DIR", str(tmp_path / "shards"))
+    suite._memo.clear()
+    yield tmp_path
+    suite._memo.clear()
+
+
+class TestStreamedGeneration:
+    @pytest.mark.parametrize("gen,kw", GENERATOR_CASES,
+                             ids=[g.__name__ for g, _ in GENERATOR_CASES])
+    def test_chunks_bit_identical_to_one_shot(self, gen, kw):
+        ref = gen(**kw)
+        chunks = list(synthetic.stream_chunks(gen, chunk_nnz=4096, **kw))
+        assert len(chunks) > 1          # actually exercised chunking
+        rows = np.concatenate([r for r, c in chunks])
+        cols = np.concatenate([c for r, c in chunks])
+        np.testing.assert_array_equal(rows, ref.rows)
+        np.testing.assert_array_equal(cols, ref.cols)
+        built = COOMatrix(kw["n"], kw["n"], rows, cols, None, "t")
+        assert built.structural_digest() == ref.structural_digest()
+
+    def test_chunk_size_invariance(self):
+        gen, kw = GENERATOR_CASES[0]
+        digests = set()
+        for chunk_nnz in (1000, 4096, 10**9):
+            chunks = list(synthetic.stream_chunks(gen, chunk_nnz=chunk_nnz,
+                                                  **kw))
+            rows = np.concatenate([r for r, _ in chunks])
+            cols = np.concatenate([c for _, c in chunks])
+            m = COOMatrix(kw["n"], kw["n"], rows, cols, None, "t")
+            digests.add(m.structural_digest())
+        assert len(digests) == 1
+
+    def test_unregistered_generator_rejected(self):
+        with pytest.raises(ValueError, match="streamed twin"):
+            synthetic.stream_chunks(synthetic.zipf_sample, n=10)
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_benchmark_stream_matches_generate(self, name):
+        spec = BENCHMARKS[name]
+        ref = spec.generate(scale="tiny", seed=7)
+        chunks = list(spec.stream(scale="tiny", seed=7, chunk_nnz=1 << 15))
+        rows = np.concatenate([r for r, _ in chunks])
+        cols = np.concatenate([c for _, c in chunks])
+        built = COOMatrix(ref.n_rows, ref.n_cols, rows, cols, None, name)
+        assert built.structural_digest() == ref.structural_digest()
+
+
+class TestShardStore:
+    def _write(self, tmp_path, gen, kw, chunk_nnz=4096):
+        ref = gen(**kw)
+        sm = write_sharded(
+            str(tmp_path / "m"), kw["n"], kw["n"],
+            synthetic.stream_chunks(gen, chunk_nnz=chunk_nnz, **kw),
+            name="t",
+        )
+        return ref, sm
+
+    def test_roundtrip_and_manifest(self, tmp_path):
+        gen, kw = GENERATOR_CASES[1]
+        ref, sm = self._write(tmp_path, gen, kw)
+        assert is_sharded(sm) and not is_sharded(ref)
+        assert sm.nnz == ref.nnz
+        assert sm.shape == (ref.n_rows, ref.n_cols)
+        assert sm.n_shards > 1
+        assert sm.structural_digest() == ref.structural_digest()
+        manifest = json.load(open(os.path.join(sm.path, "manifest.json")))
+        assert manifest["schema"] == "repro.shards/v1"
+        assert manifest["nnz"] == ref.nnz
+        back = sm.to_coo()
+        np.testing.assert_array_equal(back.rows, ref.rows)
+        np.testing.assert_array_equal(back.cols, ref.cols)
+
+    def test_reopen_existing_store(self, tmp_path):
+        gen, kw = GENERATOR_CASES[2]
+        ref, sm = self._write(tmp_path, gen, kw)
+        again = ShardedCOOMatrix(sm.path)
+        assert again.structural_digest() == ref.structural_digest()
+        assert again.nnz == ref.nnz
+
+    def test_from_coo_roundtrip(self, tmp_path):
+        gen, kw = GENERATOR_CASES[3]
+        ref = gen(**kw)
+        sm = from_coo(ref, str(tmp_path / "m"), shard_nnz=4096)
+        assert sm.n_shards > 1
+        assert sm.structural_digest() == ref.structural_digest()
+
+    def test_window_reads(self, tmp_path):
+        gen, kw = GENERATOR_CASES[0]
+        ref, sm = self._write(tmp_path, gen, kw)
+        # cols_slice windows equal the materialized stream, across
+        # shard boundaries.
+        rng = np.random.default_rng(0)
+        for _ in range(8):
+            a, b = sorted(rng.integers(0, ref.nnz + 1, size=2).tolist())
+            np.testing.assert_array_equal(sm.cols_slice(a, b), ref.cols[a:b])
+        # nnz_before_row equals searchsorted on the dense rows.
+        for row in [0, 1, kw["n"] // 3, kw["n"] - 1, kw["n"]]:
+            assert sm.nnz_before_row(row) == int(
+                np.searchsorted(ref.rows, row, side="left")
+            )
+        np.testing.assert_array_equal(
+            sm.row_nnz(), np.bincount(ref.rows, minlength=ref.n_rows)
+        )
+
+    def test_resident_nnz_is_zero(self, tmp_path):
+        gen, kw = GENERATOR_CASES[2]
+        _, sm = self._write(tmp_path, gen, kw)
+        assert sm.resident_nnz == 0
+
+    def test_drop_pages_tolerates_plain_arrays(self):
+        drop_pages(np.arange(10))    # no memmap under it: a no-op
+
+
+class TestShardedPartition:
+    @pytest.mark.parametrize("kind", ["rows", "nnz"])
+    def test_traces_match_dense(self, shard_env, kind):
+        mat = load_benchmark("stokes", "tiny")
+        smat = load_benchmark("stokes", "tiny", sharded=True)
+        dense = build_partition(mat, 16, kind=kind)
+        sharded = build_partition(smat, 16, kind=kind)
+        assert isinstance(sharded, ShardedOneDPartition)
+        np.testing.assert_array_equal(dense.row_starts, sharded.row_starts)
+        np.testing.assert_array_equal(dense.node_nnz(), sharded.node_nnz())
+        for dt, st in zip(dense.node_traces(), sharded.node_traces()):
+            np.testing.assert_array_equal(dt.idxs, st.idxs)
+            np.testing.assert_array_equal(dt.owner, st.owner)
+            assert dt.owner.dtype == st.owner.dtype
+            np.testing.assert_array_equal(dt.remote, st.remote)
+            np.testing.assert_array_equal(dt.remote_idxs, st.remote_idxs)
+            np.testing.assert_array_equal(dt.remote_pos, st.remote_pos)
+            np.testing.assert_array_equal(dt.remote_unique, st.remote_unique)
+            assert dt.unique_remote_count() == st.unique_remote_count()
+
+    def test_release_bounds_residency(self, shard_env):
+        smat = load_benchmark("queen", "tiny", sharded=True)
+        part = ShardedOneDPartition(smat, 8)
+        assert part.resident_trace_nnz() == 0
+        traces = part.node_traces()
+        _ = traces[0].remote_idxs
+        assert part.resident_trace_nnz() > 0
+        released = part.release_traces()
+        assert released > 0
+        assert part.resident_trace_nnz() == 0
+        # Windows re-materialize transparently after release.
+        np.testing.assert_array_equal(
+            traces[0].idxs, smat.cols_slice(0, traces[0].n_nonzeros)
+        )
+
+    def test_balanced_helper_matches_dense(self, shard_env):
+        mat = load_benchmark("uk", "tiny")
+        smat = load_benchmark("uk", "tiny", sharded=True)
+        dense = balanced_by_nnz(mat, 8)
+        sharded = sharded_balanced_by_nnz(smat, 8)
+        np.testing.assert_array_equal(dense.row_starts, sharded.row_starts)
+
+    def test_validation(self, shard_env):
+        smat = load_benchmark("queen", "tiny", sharded=True)
+        with pytest.raises(ValueError):
+            ShardedOneDPartition(smat, 0)
+        with pytest.raises(ValueError):
+            ShardedOneDPartition(smat, smat.n_rows + 1)
+        with pytest.raises(ValueError):
+            ShardedOneDPartition(smat, 4, row_starts=np.array([0, 1, 2]))
+
+
+class TestSuiteShardedLoading:
+    def test_digest_matches_dense_twin(self, shard_env):
+        dense = load_benchmark("arabic", "tiny")
+        sharded = load_benchmark("arabic", "tiny", sharded=True)
+        assert is_sharded(sharded)
+        assert sharded.structural_digest() == dense.structural_digest()
+        assert sharded.nnz == dense.nnz
+
+    def test_memoized_and_reused_from_disk(self, shard_env):
+        from repro.sparse import suite
+
+        a = load_benchmark("queen", "tiny", sharded=True)
+        b = load_benchmark("queen", "tiny", sharded=True)
+        assert a is b                       # memo hit
+        suite._memo.clear()
+        c = load_benchmark("queen", "tiny", sharded=True)
+        assert c is not a                   # reloaded ...
+        assert c.path == a.path             # ... from the same store
+        assert c.structural_digest() == a.structural_digest()
+
+    def test_sharded_scales_env(self, shard_env, monkeypatch):
+        from repro.sparse.suite import sharded_scales
+
+        assert {"large", "paper"} <= sharded_scales()
+        monkeypatch.setenv("REPRO_SHARDED_SCALES", "tiny,small")
+        assert {"tiny", "small", "large", "paper"} <= sharded_scales()
+        mat = load_benchmark("queen", "tiny")   # default now sharded
+        assert is_sharded(mat)
