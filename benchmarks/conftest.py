@@ -34,6 +34,19 @@ PAPER_CLAIMS = SCALE != "tiny"
 #: One record per `run_once` call, drained into BENCH_<date>.json.
 _BENCH_RECORDS = []
 
+#: Named top-level payload blocks (e.g. the service latency report)
+#: registered by benchmarks via `record_block`.
+_BENCH_EXTRA = {}
+
+
+def record_block(name: str, data: dict) -> None:
+    """Attach a named block to the session's BENCH_<date>.json payload.
+
+    For benchmark outputs that aren't a single timed experiment — the
+    service benchmark's latency/throughput/coalesce report, for
+    example.  Re-registering a name overwrites it."""
+    _BENCH_EXTRA[str(name)] = data
+
 
 @pytest.fixture(scope="session")
 def scale():
@@ -78,7 +91,7 @@ def run_once(benchmark, fn, *args, **kwargs):
 
 def pytest_sessionfinish(session, exitstatus):
     """Emit the machine-readable perf trajectory entry."""
-    if not _BENCH_RECORDS:
+    if not _BENCH_RECORDS and not _BENCH_EXTRA:
         return
     out_dir = os.environ.get(
         "REPRO_BENCH_OUT",
@@ -106,6 +119,7 @@ def pytest_sessionfinish(session, exitstatus):
     except Exception:
         pass
     payload["memory"] = memory
+    payload.update(_BENCH_EXTRA)
     try:
         from repro.parallel import get_engine
 

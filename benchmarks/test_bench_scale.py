@@ -10,7 +10,10 @@ releases each node's window after its scatter stage.
 
 At ``paper`` scale the full model is out of reach by design (Table-6
 row counts); only generation and trace extraction are expected to fit,
-so the sweep skips itself there.
+so the sweep skips itself there — the trace-extraction-only row below
+is the benchmark that *does* run at paper scale: streamed generation
+into the shard store plus a full windowed-trace walk (touch, classify
+remote, release), no kernel dispatch.
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ import pytest
 
 from repro.cluster import build_cluster_topology, simulate_netsparse
 from repro.config import NetSparseConfig
-from repro.partition import TraceCache, set_trace_cache
+from repro.partition import TraceCache, build_partition, set_trace_cache
 from repro.sparse.shards import is_sharded
 from repro.sparse.suite import load_benchmark
 
@@ -77,6 +80,55 @@ def test_bench_sharded_sweep(benchmark, scale):
         assert res.total_time > 0
         if scale == "large":
             assert nnz >= 10_000_000, (name, nnz)
+    assert elapsed < wall_budget, f"wall {elapsed:.0f}s > {wall_budget}s"
+    rss = peak_rss_mb()
+    assert rss < rss_budget, f"peak RSS {rss:.0f}MiB > {rss_budget}MiB"
+
+
+#: Trace-extraction-only row (ROADMAP item 3 follow-on): matrices,
+#: (wall s, peak RSS MiB) budgets.  Paper scale sticks to queen — the
+#: smallest Table-6 matrix is already ~200M nonzeros, which exercises
+#: the whole sharded path (streamed generation, shard store, windowed
+#: extraction) without the multi-hour europe generation.  Measured
+#: locally at paper: ~32s wall end to end.
+TRACE_ONLY = {
+    "tiny": (("queen", "europe"), 120, 2048),
+    "small": (("queen", "europe"), 240, 2560),
+    "medium": (("queen", "europe"), 600, 3072),
+    "large": (("queen", "europe"), 600, 3072),
+    "paper": (("queen",), 900, 6144),
+}
+
+N_NODES = 128
+
+
+def _extract_traces(scale: str, matrices):
+    """Generation + windowed trace walk only — no kernel dispatch."""
+    out = {}
+    for name in matrices:
+        mat = load_benchmark(name, scale, sharded=True)
+        assert is_sharded(mat)
+        part = build_partition(mat, N_NODES)
+        total = remote = 0
+        for tr in part.node_traces():
+            total += int(tr.n_nonzeros)
+            remote += int(tr.remote.sum())
+            tr.release()               # bounded-resident walk
+        out[name] = (mat.nnz, total, remote)
+    return out
+
+
+def test_bench_trace_extraction(benchmark, scale):
+    matrices, wall_budget, rss_budget = TRACE_ONLY[scale]
+    t0 = time.perf_counter()
+    results = run_once(benchmark, _extract_traces, scale, matrices)
+    elapsed = time.perf_counter() - t0
+
+    for name, (nnz, total, remote) in results.items():
+        assert total == nnz, (name, total, nnz)   # every nonzero walked
+        assert 0 < remote < nnz, name
+        if scale == "paper":
+            assert nnz >= 100_000_000, (name, nnz)
     assert elapsed < wall_budget, f"wall {elapsed:.0f}s > {wall_budget}s"
     rss = peak_rss_mb()
     assert rss < rss_budget, f"peak RSS {rss:.0f}MiB > {rss_budget}MiB"

@@ -1,0 +1,138 @@
+"""Service benchmark: N concurrent clients against one job server.
+
+Eight client threads fire overlapping sweeps at a background
+:class:`~repro.service.server.JobServer` (real sockets, real
+WebSocket-capable HTTP), so most submissions land on digests some
+other client already has in flight or cached.  The point under test is
+the service layer itself — admission, coalescing, cache serving,
+result transport — so the block records request latencies (p50/p95),
+sustained throughput, and the coalesce rate into ``BENCH_<date>.json``
+under a top-level ``"service"`` key.
+
+Deduplication is asserted, not just measured: the engine must execute
+each distinct job exactly once no matter how many clients ask for it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.parallel import ExecutionEngine, ResultCache
+from repro.service import ServiceClient, serve_in_background
+
+from conftest import record_block, run_once
+
+N_CLIENTS = 8
+#: Per-client sweep: overlapping slices of one scheme/matrix/k grid.
+SCHEMES = ("netsparse", "suopt")
+MATRICES = ("arabic", "stokes")
+KS = (4, 8, 16)
+
+
+def _client_worker(url: str, idx: int, latencies, results, errors):
+    """One client: submit an overlapping sweep, wait for every job,
+    fetch every result."""
+    try:
+        c = ServiceClient(url, timeout=120)
+        # Rotate the grid so clients disagree on submission order but
+        # overlap almost entirely on content.
+        ks = KS[idx % len(KS):] + KS[:idx % len(KS)]
+        t0 = time.perf_counter()
+        sweep = c.submit_sweep({
+            "schemes": list(SCHEMES), "matrices": list(MATRICES),
+            "ks": list(ks), "scale_name": "tiny",
+        })
+        latencies.append(("submit", time.perf_counter() - t0))
+        for st in sweep["jobs"]:
+            t0 = time.perf_counter()
+            res = c.wait(st.job_id, timeout=120)
+            latencies.append(("wait", time.perf_counter() - t0))
+            key = (res.digest,)
+            results.append((key, res.comm_result().total_time))
+    except Exception as exc:  # pragma: no cover - surfaced by assert
+        errors.append(exc)
+
+
+def _run_service_bench(tmp_root) -> dict:
+    eng = ExecutionEngine(jobs=2, cache=ResultCache(tmp_root))
+    bg = serve_in_background(eng, queue_limit=256)
+    latencies, results, errors = [], [], []
+    t0 = time.perf_counter()
+    try:
+        threads = [
+            threading.Thread(target=_client_worker,
+                             args=(bg.url, i, latencies, results, errors))
+            for i in range(N_CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(300)
+            assert not t.is_alive(), "client thread hung"
+        elapsed = time.perf_counter() - t0
+        stats = ServiceClient(bg.url).stats()
+    finally:
+        bg.stop()
+        eng.close()
+    assert errors == [], errors
+
+    counters = stats["service"]["counters"]
+    n_jobs = len(SCHEMES) * len(MATRICES) * len(KS)
+    submitted = counters.get("service.submitted", 0)
+    coalesced = counters.get("service.coalesced", 0)
+    cache_hits = counters.get("service.cache_hits", 0)
+    executed = stats["engine"]["stats"]["executed"]
+
+    # Hard dedupe guarantee: each distinct job ran exactly once.
+    assert executed == n_jobs, (executed, n_jobs)
+    assert coalesced + cache_hits > 0, "clients never overlapped"
+    # Bit-stability across transports: every client that fetched a
+    # digest saw the identical float.
+    by_digest = {}
+    for key, total_time in results:
+        by_digest.setdefault(key, set()).add(total_time)
+    assert all(len(v) == 1 for v in by_digest.values()), by_digest
+
+    def _pct(samples, q):
+        if not samples:
+            return 0.0
+        s = sorted(samples)
+        pos = (len(s) - 1) * q / 100.0
+        lo = int(pos)
+        hi = min(lo + 1, len(s) - 1)
+        return s[lo] + (s[hi] - s[lo]) * (pos - lo)
+
+    submit_lat = [v for k, v in latencies if k == "submit"]
+    wait_lat = [v for k, v in latencies if k == "wait"]
+    n_requests = counters.get("service.requests", 0)
+    return {
+        "n_clients": N_CLIENTS,
+        "n_distinct_jobs": n_jobs,
+        "submitted": submitted,
+        "coalesced": coalesced,
+        "cache_hits": cache_hits,
+        "executed": executed,
+        # Of all submissions (new records + coalesced joins), the
+        # fraction answered without a new execution.
+        "coalesce_rate": round(
+            (coalesced + cache_hits) / max(submitted + coalesced, 1), 4),
+        "wall_s": round(elapsed, 3),
+        "requests": n_requests,
+        "throughput_rps": round(n_requests / elapsed, 1),
+        "submit_p50_ms": round(_pct(submit_lat, 50) * 1e3, 2),
+        "submit_p95_ms": round(_pct(submit_lat, 95) * 1e3, 2),
+        "wait_p50_ms": round(_pct(wait_lat, 50) * 1e3, 2),
+        "wait_p95_ms": round(_pct(wait_lat, 95) * 1e3, 2),
+    }
+
+
+def test_bench_service(benchmark, scale, tmp_path):
+    if scale in ("large", "paper"):
+        pytest.skip("service bench is scale-free; tiny jobs only")
+    block = run_once(benchmark, _run_service_bench, tmp_path / "cache")
+    record_block("service", block)
+    assert block["coalesce_rate"] > 0.5   # 8 clients, same grid
+    assert block["submit_p95_ms"] < 5000

@@ -1,0 +1,229 @@
+#!/usr/bin/env python
+"""Service smoke: one server, many concurrent clients, hard assertions.
+
+Starts a job server in-process, fires ``--clients`` worker threads at
+it with *overlapping* sweeps (every client submits mostly the same
+scheme/matrix/k grid), then asserts the service-level guarantees the
+PR promises:
+
+1. **Dedupe** — the engine executed each distinct job exactly once,
+   proven from the ``service.*`` / engine telemetry, not inferred.
+2. **Bit-identical transport** — every client's decoded result for a
+   digest matches the direct in-process ``simulate()`` float for
+   float, array for array.
+3. **Lifecycle ordering** — each executed job's WebSocket stream is
+   ``queued -> running -> spans -> done`` with dense sequence numbers.
+4. **Graceful drain** — shutdown with work in flight completes that
+   work before the server exits.
+
+Writes a small latency report (p50/p95 per route, throughput,
+coalesce rate) as JSON to ``--out`` for CI to upload.
+
+Usage::
+
+    python scripts/service_smoke.py --clients 8 --out service-report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+
+from repro.parallel import ExecutionEngine, ResultCache, engine_scope, simulate
+from repro.service import ServiceClient, serve_in_background
+
+SCHEMES = ("netsparse", "suopt")
+MATRICES = ("arabic", "stokes")
+KS = (4, 8, 16)
+
+
+def _pct(samples, q):
+    if not samples:
+        return 0.0
+    s = sorted(samples)
+    pos = (len(s) - 1) * q / 100.0
+    lo = int(pos)
+    hi = min(lo + 1, len(s) - 1)
+    return s[lo] + (s[hi] - s[lo]) * (pos - lo)
+
+
+def _client(url, idx, out, errors):
+    try:
+        c = ServiceClient(url, timeout=120)
+        ks = KS[idx % len(KS):] + KS[:idx % len(KS)]
+        t0 = time.perf_counter()
+        sweep = c.submit_sweep({
+            "schemes": list(SCHEMES), "matrices": list(MATRICES),
+            "ks": list(ks), "scale_name": "tiny",
+        })
+        out["submit_lat"].append(time.perf_counter() - t0)
+        for st in sweep["jobs"]:
+            t0 = time.perf_counter()
+            res = c.wait(st.job_id, timeout=120)
+            out["wait_lat"].append(time.perf_counter() - t0)
+            comm = res.comm_result()
+            out["results"].append(
+                (res.digest, comm.total_time,
+                 comm.per_node_time.tobytes(), st.job_id))
+    except Exception as exc:
+        errors.append((idx, repr(exc)))
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--clients", type=int, default=8)
+    ap.add_argument("--out", default="service-report.json")
+    ap.add_argument("--cache-dir", default=None)
+    args = ap.parse_args(argv)
+    if args.clients < 8:
+        print(f"[smoke] WARNING: {args.clients} clients is below the "
+              "acceptance floor of 8", file=sys.stderr)
+
+    import tempfile
+
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="svc-smoke-")
+    eng = ExecutionEngine(jobs=2, cache=ResultCache(cache_dir))
+    bg = serve_in_background(eng, queue_limit=256)
+    print(f"[smoke] server on {bg.url}, {args.clients} clients, "
+          f"grid={len(SCHEMES)}x{len(MATRICES)}x{len(KS)}")
+
+    failures = []
+    out = {"submit_lat": [], "wait_lat": [], "results": []}
+    errors: list = []
+    t0 = time.perf_counter()
+    threads = [threading.Thread(target=_client,
+                                args=(bg.url, i, out, errors))
+               for i in range(args.clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(300)
+        if t.is_alive():
+            failures.append("client thread hung")
+    elapsed = time.perf_counter() - t0
+    if errors:
+        failures.append(f"client errors: {errors}")
+
+    client = ServiceClient(bg.url)
+    stats = client.stats()
+    counters = stats["service"]["counters"]
+    executed = stats["engine"]["stats"]["executed"]
+    n_distinct = len(SCHEMES) * len(MATRICES) * len(KS)
+
+    # 1. Dedupe, proven via telemetry.
+    coalesced = counters.get("service.coalesced", 0)
+    cache_hits = counters.get("service.cache_hits", 0)
+    submitted = counters.get("service.submitted", 0)
+    if executed != n_distinct:
+        failures.append(
+            f"dedupe broken: engine executed {executed} != "
+            f"{n_distinct} distinct jobs")
+    if coalesced + cache_hits == 0:
+        failures.append("no coalescing observed across overlapping sweeps")
+    print(f"[smoke] submissions={submitted + coalesced} "
+          f"coalesced={coalesced} cache-hits={cache_hits} "
+          f"executed={executed}")
+
+    # 2. Bit-identical results vs the direct in-process path.
+    with engine_scope(ExecutionEngine(jobs=1, cache=None)):
+        direct = {}
+        for scheme in SCHEMES:
+            for matrix in MATRICES:
+                for k in KS:
+                    res = simulate(scheme, matrix, k=k, scale_name="tiny")
+                    direct[(scheme, matrix, k)] = (
+                        res.total_time, res.per_node_time.tobytes())
+    direct_by_bits = {v for v in direct.values()}
+    seen_digests = set()
+    for digest, total_time, per_node_bytes, _job in out["results"]:
+        seen_digests.add(digest)
+        if (total_time, per_node_bytes) not in direct_by_bits:
+            failures.append(
+                f"result for {digest[:12]} not bit-identical to direct "
+                f"simulate() (total_time={total_time!r})")
+            break
+    if len(seen_digests) != n_distinct and not errors:
+        failures.append(
+            f"clients saw {len(seen_digests)} digests, "
+            f"expected {n_distinct}")
+
+    # 3. WebSocket lifecycle ordering on every executed job.
+    checked = 0
+    for st in client.jobs():
+        if st.source != "executed":
+            continue
+        events = list(client.events(st.job_id))
+        states = [e["state"] for e in events if e["type"] == "status"]
+        seqs = [e["seq"] for e in events]
+        if states != ["queued", "running", "done"]:
+            failures.append(f"{st.job_id}: bad lifecycle {states}")
+        if seqs != list(range(len(events))):
+            failures.append(f"{st.job_id}: non-dense seq {seqs}")
+        span_names = [e["name"] for e in events if e["type"] == "span"]
+        if not span_names:
+            failures.append(f"{st.job_id}: no spans streamed")
+        # Only the NetSparse cluster model emits per-stage spans; the
+        # baselines record their own (sim.*, engine.job).
+        if (st.describe.get("scheme") == "netsparse"
+                and not any(n.startswith("cluster.stage.")
+                            for n in span_names)):
+            failures.append(f"{st.job_id}: no per-stage spans streamed")
+        checked += 1
+    print(f"[smoke] websocket lifecycle verified on {checked} "
+          f"executed jobs")
+
+    # 4. Graceful drain with work in flight.
+    slow_digest_req = {"scheme": "hybrid", "matrix": "uk", "k": 16,
+                       "scale_name": "tiny"}
+    drained = client.submit(slow_digest_req)
+    bg.stop()           # drain=True: must finish the in-flight job
+    from repro.service.protocol import JobRequest
+
+    digest = JobRequest.from_dict(slow_digest_req).to_sim_job().digest()
+    if eng.cache.get(digest) is None:
+        failures.append("graceful drain lost an in-flight job "
+                        f"({drained.job_id})")
+    else:
+        print(f"[smoke] drain completed in-flight job {drained.job_id}")
+    eng.close()
+
+    report = {
+        "clients": args.clients,
+        "distinct_jobs": n_distinct,
+        "submissions": submitted + coalesced,
+        "coalesced": coalesced,
+        "cache_hits": cache_hits,
+        "executed": executed,
+        "coalesce_rate": round(
+            (coalesced + cache_hits) / max(submitted + coalesced, 1), 4),
+        "wall_s": round(elapsed, 3),
+        "requests": counters.get("service.requests", 0),
+        "throughput_rps": round(
+            counters.get("service.requests", 0) / elapsed, 1),
+        "submit_p50_ms": round(_pct(out["submit_lat"], 50) * 1e3, 2),
+        "submit_p95_ms": round(_pct(out["submit_lat"], 95) * 1e3, 2),
+        "wait_p50_ms": round(_pct(out["wait_lat"], 50) * 1e3, 2),
+        "wait_p95_ms": round(_pct(out["wait_lat"], 95) * 1e3, 2),
+        "ws_checked_jobs": checked,
+        "failures": failures,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"[smoke] wrote {args.out}")
+    if failures:
+        for f in failures:
+            print(f"[smoke] FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"[smoke] OK: {args.clients} clients, "
+          f"{report['submissions']} submissions -> {executed} executions, "
+          f"coalesce rate {report['coalesce_rate']:.0%}, "
+          f"submit p95 {report['submit_p95_ms']}ms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

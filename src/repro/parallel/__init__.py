@@ -25,6 +25,7 @@ from repro.parallel.cache import ResultCache, default_cache_dir
 from repro.parallel.engine import (
     EngineStats,
     ExecutionEngine,
+    JobHandle,
     configure_engine,
     engine_scope,
     get_engine,
@@ -38,6 +39,7 @@ __all__ = [
     "CODE_SALT",
     "EngineStats",
     "ExecutionEngine",
+    "JobHandle",
     "ResultCache",
     "SimJob",
     "configure_engine",

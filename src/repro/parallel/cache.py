@@ -106,7 +106,6 @@ class ResultCache:
 
     def put(self, digest: str, result, *, meta: dict, elapsed: float) -> None:
         path = self._path(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "format": _ENTRY_FORMAT,
             "digest": digest,
@@ -115,19 +114,41 @@ class ResultCache:
             "created": time.time(),
             "result": result,
         }
-        # Atomic publish: concurrent writers of the same digest race
-        # benignly (identical deterministic content either way).
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        # Atomic publish: the full entry is staged in a temp file in
+        # the destination directory and renamed into place, so readers
+        # only ever see complete entries.  Concurrent writers of the
+        # same digest race benignly (identical deterministic content
+        # either way), and a concurrent `clear()` (or an external
+        # rmtree) sweeping the shard directory away between mkdir and
+        # rename just costs one retry.
+        for attempt in range(2):
+            path.parent.mkdir(parents=True, exist_ok=True)
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            except FileNotFoundError:
+                if attempt:
+                    raise
+                continue
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, path)
+                return
+            except FileNotFoundError:
+                self._unlink_quiet(tmp)
+                if attempt:
+                    raise
+            except BaseException:
+                self._unlink_quiet(tmp)
+                raise
+
+    @staticmethod
+    def _unlink_quiet(tmp) -> None:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
 
     # -- maintenance ---------------------------------------------------
 
@@ -149,15 +170,23 @@ class ResultCache:
             entry = self.get(path.stem)
             if entry is None:
                 continue
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue  # entry cleared between glob and stat
             info.n_entries += 1
-            info.total_bytes += path.stat().st_size
+            info.total_bytes += size
             info.sim_seconds += entry.elapsed
             scheme = entry.meta.get("scheme", "?")
             info.by_scheme[scheme] = info.by_scheme.get(scheme, 0) + 1
         return info
 
     def clear(self) -> int:
-        """Delete every entry; returns how many files were removed."""
+        """Delete every entry; returns how many files were removed.
+
+        Also sweeps orphaned ``*.tmp`` staging files (crashed writers).
+        Safe to run while other processes are reading and writing: their
+        in-progress ``put`` calls retry, their ``get`` calls miss."""
         removed = 0
         for path in self._entry_files():
             try:
@@ -165,4 +194,10 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        if self.root.is_dir():
+            for tmp in self.root.glob("*/*.tmp"):
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
         return removed

@@ -16,10 +16,11 @@ caller's submission order.
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import telemetry
 from repro.config import NetSparseConfig
@@ -29,6 +30,7 @@ from repro.parallel.jobs import SimJob, timed_execute
 __all__ = [
     "EngineStats",
     "ExecutionEngine",
+    "JobHandle",
     "configure_engine",
     "engine_scope",
     "get_engine",
@@ -63,6 +65,48 @@ class EngineStats:
             f"sim={self.sim_seconds:.1f}s saved={self.saved_seconds:.1f}s"
         )
 
+    def as_dict(self) -> dict:
+        """JSON-ready view — the service's ``/v1/stats`` payload."""
+        return {
+            "jobs": self.jobs,
+            "memo_hits": self.memo_hits,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "hit_rate": round(self.hit_rate, 4),
+            "sim_seconds": round(self.sim_seconds, 4),
+            "saved_seconds": round(self.saved_seconds, 4),
+        }
+
+
+@dataclass
+class JobHandle:
+    """One async-bridge submission (:meth:`ExecutionEngine.submit`).
+
+    ``future`` resolves to the job's result object.  ``source`` says
+    how the submission was answered: ``"memo"``/``"cache"`` handles are
+    already resolved, ``"inflight"`` handles share another submission's
+    execution (cancelling them is refused — someone else is waiting),
+    and ``"executed"`` handles own a pending execution that can still
+    be cancelled while queued behind the bridge's worker threads.
+    """
+
+    digest: str
+    future: Future
+    source: str = "executed"
+    _inner: Optional[Future] = field(default=None, repr=False)
+
+    def cancel(self) -> bool:
+        """Cancel a not-yet-started execution; ``False`` otherwise."""
+        if self.source != "executed" or self._inner is None:
+            return False
+        return self._inner.cancel()
+
+    def done(self) -> bool:
+        return self.future.done()
+
+    def result(self, timeout: Optional[float] = None):
+        return self.future.result(timeout)
+
 
 def _pool_context():
     # fork shares the parent's already-generated matrices for free;
@@ -80,6 +124,12 @@ class ExecutionEngine:
         self.stats = EngineStats()
         self._memo: Dict[str, object] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
+        # Async-bridge state: in-flight submissions by digest, executed
+        # on a thread pool so telemetry keeps flowing in-process.
+        self._bridge: Optional[ThreadPoolExecutor] = None
+        self._inflight: Dict[str, JobHandle] = {}
+        self._lock = threading.RLock()
+        self._closed = False
 
     # -- execution -----------------------------------------------------
 
@@ -88,24 +138,127 @@ class ExecutionEngine:
         jobs = list(jobs)
         digests = [job.digest() for job in jobs]
         pending: Dict[str, SimJob] = {}
-        for digest, job in zip(digests, jobs):
+        with self._lock:
+            for digest, job in zip(digests, jobs):
+                self.stats.jobs += 1
+                telemetry.count("engine.jobs")
+                if digest in self._memo or digest in pending:
+                    self.stats.memo_hits += 1
+                    telemetry.count("engine.memo_hits")
+                    continue
+                entry = self.cache.get(digest) if self.cache else None
+                if entry is not None:
+                    self._memo[digest] = entry.result
+                    self.stats.cache_hits += 1
+                    self.stats.saved_seconds += entry.elapsed
+                    telemetry.count("engine.cache_hits")
+                else:
+                    pending[digest] = job
+        if pending:
+            self._execute(pending)
+        with self._lock:
+            return [self._memo[digest] for digest in digests]
+
+    # -- async bridge ---------------------------------------------------
+
+    def submit(self, job: SimJob, *,
+               on_start: Optional[Callable[[], None]] = None) -> JobHandle:
+        """Schedule one job without blocking; returns a :class:`JobHandle`.
+
+        The bridge the service front-end (:mod:`repro.service`) runs
+        on: memo and disk-cache hits come back already resolved,
+        duplicate in-flight digests share a single execution, and
+        everything else runs on a pool of ``jobs`` worker *threads* in
+        this process — so the active telemetry registry still sees the
+        per-stage spans the simulators record (the process-pool batch
+        path executes with telemetry disabled in the workers).
+
+        ``on_start`` is invoked in the worker thread immediately before
+        execution begins — the hook the service uses to flip a job to
+        ``running`` and to bind the thread for span attribution.
+        """
+        digest = job.digest()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("engine is closed")
             self.stats.jobs += 1
             telemetry.count("engine.jobs")
-            if digest in self._memo or digest in pending:
+            if digest in self._memo:
                 self.stats.memo_hits += 1
                 telemetry.count("engine.memo_hits")
-                continue
+                fut: Future = Future()
+                fut.set_result(self._memo[digest])
+                return JobHandle(digest=digest, future=fut, source="memo")
+            shared = self._inflight.get(digest)
+            if shared is not None:
+                self.stats.memo_hits += 1
+                telemetry.count("engine.memo_hits")
+                telemetry.count("engine.inflight_hits")
+                return JobHandle(digest=digest, future=shared.future,
+                                 source="inflight")
             entry = self.cache.get(digest) if self.cache else None
             if entry is not None:
                 self._memo[digest] = entry.result
                 self.stats.cache_hits += 1
                 self.stats.saved_seconds += entry.elapsed
                 telemetry.count("engine.cache_hits")
-            else:
-                pending[digest] = job
-        if pending:
-            self._execute(pending)
-        return [self._memo[digest] for digest in digests]
+                fut = Future()
+                fut.set_result(entry.result)
+                return JobHandle(digest=digest, future=fut, source="cache")
+
+            outer: Future = Future()
+            handle = JobHandle(digest=digest, future=outer, source="executed")
+            self._inflight[digest] = handle
+
+            def _task():
+                if on_start is not None:
+                    on_start()
+                return self._timed_instrumented(job)
+
+            def _finish(inner: Future) -> None:
+                with self._lock:
+                    self._inflight.pop(digest, None)
+                if inner.cancelled():
+                    telemetry.count("engine.cancelled")
+                    outer.cancel()
+                    return
+                exc = inner.exception()
+                if exc is not None:
+                    telemetry.count("engine.failed")
+                    outer.set_exception(exc)
+                    return
+                result, elapsed = inner.result()
+                with self._lock:
+                    self._memo[digest] = result
+                    self.stats.executed += 1
+                    self.stats.sim_seconds += elapsed
+                telemetry.count("engine.executed")
+                telemetry.observe("engine.job.seconds", elapsed,
+                                  scheme=job.scheme)
+                if self.cache is not None:
+                    try:
+                        self.cache.put(digest, result, meta=job.describe(),
+                                       elapsed=elapsed)
+                    except Exception:
+                        # A full disk must not fail a computed job.
+                        telemetry.count("engine.cache_put_errors")
+                outer.set_result(result)
+
+            inner = self._ensure_bridge().submit(_task)
+            handle._inner = inner
+            inner.add_done_callback(_finish)
+            return handle
+
+    def describe(self) -> dict:
+        """Engine topology + stats, JSON-ready (service ``/v1/stats``)."""
+        with self._lock:
+            return {
+                "workers": self.jobs,
+                "cache_dir": str(self.cache.root) if self.cache else None,
+                "inflight": len(self._inflight),
+                "closed": self._closed,
+                "stats": self.stats.as_dict(),
+            }
 
     def run_job(self, job: SimJob):
         return self.run_jobs([job])[0]
@@ -123,9 +276,10 @@ class ExecutionEngine:
         else:
             outcomes = (self._timed_instrumented(job) for _, job in items)
         for (digest, job), (result, elapsed) in zip(items, outcomes):
-            self._memo[digest] = result
-            self.stats.executed += 1
-            self.stats.sim_seconds += elapsed
+            with self._lock:
+                self._memo[digest] = result
+                self.stats.executed += 1
+                self.stats.sim_seconds += elapsed
             telemetry.count("engine.executed")
             telemetry.observe("engine.job.seconds", elapsed,
                               scheme=job.scheme)
@@ -169,16 +323,38 @@ class ExecutionEngine:
             return timed_execute(job)
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.jobs, mp_context=_pool_context()
-            )
-        return self._pool
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs, mp_context=_pool_context()
+                )
+            return self._pool
+
+    def _ensure_bridge(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._bridge is None:
+                self._bridge = ThreadPoolExecutor(
+                    max_workers=self.jobs,
+                    thread_name_prefix="engine-bridge",
+                )
+            return self._bridge
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        """Release both pools.  Idempotent and safe to call from
+        several threads at once: the pools are detached under the lock
+        (so only one caller shuts each down) and later calls are
+        no-ops.  Bridge submissions already running are drained, not
+        killed; afterwards :meth:`submit` refuses new work while the
+        synchronous paths keep answering (serially) — matching the
+        historical post-close behavior."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+            bridge, self._bridge = self._bridge, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if bridge is not None:
+            bridge.shutdown(wait=True)
 
     def __enter__(self) -> "ExecutionEngine":
         return self
@@ -190,33 +366,50 @@ class ExecutionEngine:
 # -- process-global default engine ------------------------------------
 
 _default_engine: Optional[ExecutionEngine] = None
+_engine_lock = threading.Lock()
 
 
 def get_engine() -> ExecutionEngine:
     """The process default: serial and uncached until configured."""
     global _default_engine
     if _default_engine is None:
-        _default_engine = ExecutionEngine()
+        with _engine_lock:
+            if _default_engine is None:
+                _default_engine = ExecutionEngine()
     return _default_engine
 
 
 def configure_engine(jobs: int = 1, cache_dir=None,
                      use_cache: bool = True) -> ExecutionEngine:
-    """Install (and return) a new default engine — the CLI entry point."""
+    """Install (and return) a new default engine — the CLI entry point.
+
+    The replacement is built *before* the previous default is touched,
+    so a failing :class:`ResultCache` constructor (bad ``cache_dir``)
+    leaves the old engine installed and its pools open.
+    """
     global _default_engine
-    if _default_engine is not None:
-        _default_engine.close()
     cache = ResultCache(cache_dir) if use_cache else None
-    _default_engine = ExecutionEngine(jobs=jobs, cache=cache)
-    return _default_engine
+    engine = ExecutionEngine(jobs=jobs, cache=cache)
+    with _engine_lock:
+        previous = _default_engine
+        _default_engine = engine
+    if previous is not None:
+        previous.close()
+    return engine
 
 
 def set_engine(engine: Optional[ExecutionEngine]) -> Optional[ExecutionEngine]:
-    """Swap the default engine, returning the previous one (tests)."""
+    """Swap the default engine, returning the previous one (tests).
+
+    The swap itself is atomic under a module lock, so two threads
+    swapping concurrently always see a consistent previous engine —
+    nesting :func:`engine_scope` across *different* threads still
+    needs external coordination, but can no longer tear the global."""
     global _default_engine
-    previous = _default_engine
-    _default_engine = engine
-    return previous
+    with _engine_lock:
+        previous = _default_engine
+        _default_engine = engine
+        return previous
 
 
 @contextmanager

@@ -1,0 +1,68 @@
+"""Sweep-as-a-service: the asyncio job API over the ExecutionEngine.
+
+Three modules, layered strictly:
+
+- :mod:`repro.service.protocol` — the wire contract: typed, versioned
+  JSON dataclasses (``JobRequest``/``SweepRequest``/``JobStatus``/
+  ``JobResult``), numpy-aware bit-exact result encoding, and the
+  canonical-digest mapping onto :class:`~repro.parallel.SimJob`.
+- :mod:`repro.service.server` — the stdlib-only asyncio server:
+  hand-rolled HTTP/1.1 + RFC 6455 WebSocket, duplicate-submission
+  coalescing, cache-served repeats, bounded admission (429 +
+  ``Retry-After``), per-job lifecycle/span event streams, graceful
+  drain.
+- :mod:`repro.service.client` — a pure-stdlib client that speaks only
+  the protocol (never imports simulator internals).
+
+Quick start::
+
+    from repro.service import serve_in_background, ServiceClient
+
+    bg = serve_in_background(queue_limit=32)
+    c = ServiceClient(bg.url)
+    st = c.submit({"scheme": "netsparse", "matrix": "arabic", "k": 16,
+                   "scale_name": "tiny"})
+    res = c.wait(st.job_id).comm_result()
+    bg.stop()          # drains in-flight jobs
+
+Foreground: ``netsparse serve`` / ``netsparse submit`` on the CLI.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import (
+    JOB_STATES,
+    PROTOCOL_VERSION,
+    JobRequest,
+    JobResult,
+    JobStatus,
+    ProtocolError,
+    SweepRequest,
+    decode_result,
+    encode_result,
+)
+from repro.service.server import (
+    DEFAULT_PORT,
+    BackgroundServer,
+    JobServer,
+    run_server,
+    serve_in_background,
+)
+
+__all__ = [
+    "DEFAULT_PORT",
+    "JOB_STATES",
+    "PROTOCOL_VERSION",
+    "BackgroundServer",
+    "JobRequest",
+    "JobResult",
+    "JobServer",
+    "JobStatus",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "SweepRequest",
+    "decode_result",
+    "encode_result",
+    "run_server",
+    "serve_in_background",
+]

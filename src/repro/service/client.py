@@ -1,0 +1,288 @@
+"""Pure-stdlib client for the job service.
+
+Talks to :mod:`repro.service.server` over HTTP (``http.client``) and
+WebSocket (a hand-rolled RFC 6455 client on a plain socket).  Imports
+nothing from the simulator beyond the protocol dataclasses — the same
+boundary an out-of-process client in another language would have.
+
+Typical use::
+
+    from repro.service.client import ServiceClient
+
+    c = ServiceClient("http://127.0.0.1:8642")
+    st = c.submit({"scheme": "netsparse", "matrix": "arabic", "k": 16,
+                   "scale_name": "tiny"})
+    res = c.wait(st.job_id)            # JobResult
+    comm = res.comm_result()           # bit-identical CommResult
+    for ev in c.events(st.job_id):     # replayed lifecycle + spans
+        print(ev["type"], ev.get("state") or ev.get("name"))
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import http.client
+import os
+import socket
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+from urllib.parse import urlsplit
+
+from repro.service import protocol as proto
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response; carries the status and JSON body."""
+
+    def __init__(self, status: int, payload: Dict[str, Any],
+                 retry_after: Optional[float] = None):
+        detail = payload.get("error") or payload.get("code") or "?"
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.payload = payload
+        self.retry_after = retry_after
+
+    @property
+    def code(self) -> str:
+        return str(self.payload.get("code", ""))
+
+
+class ServiceClient:
+    """One service endpoint.  Stateless between calls (a fresh HTTP
+    connection per request), so instances are safe to share across
+    threads."""
+
+    def __init__(self, url: str = "http://127.0.0.1:8642", *,
+                 timeout: float = 120.0):
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme {parts.scheme!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 80
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> Tuple[int, dict]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = proto.dumps(body) if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+            data = proto.loads(raw) if raw else {}
+            if resp.status >= 400:
+                ra = resp.getheader("Retry-After")
+                raise ServiceError(resp.status, data,
+                                   retry_after=float(ra) if ra else None)
+            return resp.status, data
+        finally:
+            conn.close()
+
+    # -- API surface ---------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")[1]
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")[1]
+
+    def submit(self, request: Union[proto.JobRequest, dict]) -> proto.JobStatus:
+        """Submit one job; raises :class:`ServiceError` on 429/503."""
+        if isinstance(request, proto.JobRequest):
+            request = request.to_dict()
+        _, data = self._request("POST", "/v1/jobs", body=request)
+        return proto.JobStatus.from_dict(data)
+
+    def submit_sweep(self, request: Union[proto.SweepRequest, dict]) -> dict:
+        """Submit a sweep; returns ``{"sweep_id", "jobs": [...], ...}``
+        with ``jobs`` parsed into :class:`JobStatus` records."""
+        if isinstance(request, proto.SweepRequest):
+            request = request.to_dict()
+        _, data = self._request("POST", "/v1/sweeps", body=request)
+        data["jobs"] = [proto.JobStatus.from_dict(j) for j in data["jobs"]]
+        return data
+
+    def status(self, job_id: str) -> proto.JobStatus:
+        _, data = self._request("GET", f"/v1/jobs/{job_id}")
+        return proto.JobStatus.from_dict(data)
+
+    def jobs(self) -> List[proto.JobStatus]:
+        _, data = self._request("GET", "/v1/jobs")
+        return [proto.JobStatus.from_dict(j) for j in data["jobs"]]
+
+    def result(self, job_id: str) -> proto.JobResult:
+        _, data = self._request("GET", f"/v1/jobs/{job_id}/result")
+        return proto.JobResult.from_dict(data)
+
+    def cancel(self, job_id: str) -> proto.JobStatus:
+        _, data = self._request("DELETE", f"/v1/jobs/{job_id}")
+        return proto.JobStatus.from_dict(data)
+
+    def shutdown(self, drain: bool = True) -> dict:
+        return self._request("POST", "/v1/shutdown",
+                             body={"drain": drain})[1]
+
+    def wait(self, job_id: str, timeout: Optional[float] = None,
+             poll: float = 0.05) -> proto.JobResult:
+        """Poll until the job is terminal; returns its result.
+
+        Raises :class:`ServiceError` (code ``job_failed`` /
+        ``job_cancelled``) if it did not finish successfully, and
+        :class:`TimeoutError` on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            st = self.status(job_id)
+            if st.state == "done":
+                return self.result(job_id)
+            if st.terminal:
+                raise ServiceError(409, {"error": st.error or st.state,
+                                         "code": f"job_{st.state}"})
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {st.state} after {timeout}s")
+            time.sleep(poll)
+
+    # -- WebSocket -----------------------------------------------------
+
+    def events(self, job_id: Optional[str] = None, *,
+               timeout: Optional[float] = None) -> Iterator[dict]:
+        """Stream events for one job (or all jobs when ``job_id`` is
+        None) until the server closes the stream.
+
+        For a finished job the full history replays, so the iterator
+        always yields the complete ordered lifecycle."""
+        path = (f"/v1/jobs/{job_id}/events" if job_id is not None
+                else "/v1/events")
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=timeout or self.timeout)
+        try:
+            buf = self._ws_handshake(sock, path)
+            while True:
+                opcode, payload = self._ws_read_frame(buf)
+                if opcode == 0x8:          # close
+                    return
+                if opcode == 0x9:          # ping -> pong (masked)
+                    sock.sendall(self._ws_frame(payload, opcode=0xA))
+                    continue
+                if opcode in (0x1, 0x2) and payload:
+                    yield proto.loads(payload)
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _ws_handshake(self, sock: socket.socket,
+                      path: str) -> "_SockReader":
+        """Upgrade the socket; returns the reader (which may already
+        hold buffered frame bytes that arrived with the 101)."""
+        key = base64.b64encode(os.urandom(16)).decode()
+        req = (f"GET {path} HTTP/1.1\r\n"
+               f"Host: {self.host}:{self.port}\r\n"
+               "Upgrade: websocket\r\nConnection: Upgrade\r\n"
+               f"Sec-WebSocket-Key: {key}\r\n"
+               "Sec-WebSocket-Version: 13\r\n\r\n")
+        sock.sendall(req.encode("latin-1"))
+        reader = _SockReader(sock)
+        status_line = reader.readline()
+        if b" 101 " not in status_line:
+            # Read the error body for a useful message.
+            headers = {}
+            while True:
+                line = reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                k, _, v = line.decode("latin-1").partition(":")
+                headers[k.strip().lower()] = v.strip()
+            n = int(headers.get("content-length", 0) or 0)
+            body = reader.readexactly(n) if n else b"{}"
+            try:
+                payload = proto.loads(body)
+            except proto.ProtocolError:
+                payload = {"error": status_line.decode("latin-1").strip()}
+            status = int(status_line.split()[1]) if len(
+                status_line.split()) > 1 else 500
+            raise ServiceError(status, payload)
+        accept = None
+        while True:
+            line = reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            k, _, v = line.decode("latin-1").partition(":")
+            if k.strip().lower() == "sec-websocket-accept":
+                accept = v.strip()
+        expect = base64.b64encode(hashlib.sha1(
+            (key + _WS_GUID).encode("latin-1")).digest()).decode()
+        if accept != expect:
+            raise ServiceError(502, {"error": "bad Sec-WebSocket-Accept",
+                                     "code": "bad_handshake"})
+        return reader
+
+    @staticmethod
+    def _ws_read_frame(reader: "_SockReader") -> Tuple[int, bytes]:
+        head = reader.readexactly(2)
+        opcode = head[0] & 0x0F
+        n = head[1] & 0x7F
+        if n == 126:
+            n = int.from_bytes(reader.readexactly(2), "big")
+        elif n == 127:
+            n = int.from_bytes(reader.readexactly(8), "big")
+        # Server frames are unmasked per RFC 6455.
+        return opcode, reader.readexactly(n) if n else b""
+
+    @staticmethod
+    def _ws_frame(payload: bytes, opcode: int = 0x1) -> bytes:
+        """A masked client frame."""
+        head = bytearray([0x80 | opcode])
+        n = len(payload)
+        if n < 126:
+            head.append(0x80 | n)
+        elif n < (1 << 16):
+            head.append(0x80 | 126)
+            head += n.to_bytes(2, "big")
+        else:
+            head.append(0x80 | 127)
+            head += n.to_bytes(8, "big")
+        key = os.urandom(4)
+        head += key
+        return bytes(head) + bytes(
+            b ^ key[i % 4] for i, b in enumerate(payload))
+
+
+class _SockReader:
+    """Minimal buffered reader over a blocking socket."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._buf = b""
+
+    def _fill(self) -> bool:
+        chunk = self._sock.recv(65536)
+        if not chunk:
+            return False
+        self._buf += chunk
+        return True
+
+    def readline(self) -> bytes:
+        while b"\n" not in self._buf:
+            if not self._fill():
+                line, self._buf = self._buf, b""
+                return line
+        line, _, self._buf = self._buf.partition(b"\n")
+        return line + b"\n"
+
+    def readexactly(self, n: int) -> bytes:
+        while len(self._buf) < n:
+            if not self._fill():
+                raise ConnectionError("socket closed mid-frame")
+        out, self._buf = self._buf[:n], self._buf[n:]
+        return out

@@ -1,0 +1,853 @@
+"""Sweep-as-a-service: an asyncio job server over the ExecutionEngine.
+
+A long-running, stdlib-only front-end that turns
+:class:`~repro.parallel.ExecutionEngine` from a CLI fan-out into a
+shared service: many concurrent clients submit simulation and sweep
+jobs over HTTP, duplicates coalesce onto single executions, repeats
+are answered straight from the digest-keyed result cache, and per-job
+lifecycle + per-stage telemetry progress streams over WebSocket.
+
+The HTTP/1.1 parser and RFC 6455 WebSocket framing are hand-rolled on
+``asyncio`` streams, in the spirit of the byte-exact protocol codecs
+in :mod:`repro.core.protocol` — no new runtime dependencies.
+
+Endpoints (all payloads are :mod:`repro.service.protocol` dataclasses):
+
+====================================  ==================================
+``GET  /v1/healthz``                  liveness + protocol version
+``GET  /v1/stats``                    ``service.*`` telemetry + engine stats
+``POST /v1/jobs``                     submit one ``JobRequest``
+``POST /v1/sweeps``                   submit a ``SweepRequest`` cross-product
+``GET  /v1/jobs``                     list job statuses
+``GET  /v1/jobs/<id>``                one ``JobStatus``
+``GET  /v1/jobs/<id>/result``         the finished ``JobResult``
+``DELETE /v1/jobs/<id>``              cancel a queued job
+``GET  /v1/jobs/<id>/events``         WebSocket: that job's event stream
+``GET  /v1/events``                   WebSocket: every job's events
+``POST /v1/shutdown``                 drain in-flight jobs and stop
+====================================  ==================================
+
+Error codes: ``400`` malformed request (body carries ``code`` from
+:class:`~repro.service.protocol.ProtocolError`), ``404`` unknown job,
+``405`` wrong method, ``409`` result not ready / cannot cancel,
+``429`` admission queue full (with ``Retry-After``), ``503`` draining.
+
+Back-pressure is explicit: at most ``queue_limit`` jobs may be
+in-flight (queued + running); everything beyond that is rejected with
+``429`` so load sheds at admission instead of piling onto the engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import itertools
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import repro
+from repro import telemetry
+from repro.parallel import ExecutionEngine, get_engine
+from repro.service import protocol as proto
+from repro.telemetry import MetricsRegistry
+
+__all__ = ["JobServer", "BackgroundServer", "serve_in_background",
+           "run_server", "DEFAULT_PORT"]
+
+DEFAULT_PORT = 8642
+
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+_REASONS = {
+    101: "Switching Protocols", 200: "OK", 202: "Accepted",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    409: "Conflict", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+#: Hard ceilings on what one request may carry.
+_MAX_BODY = 8 * 1024 * 1024
+_MAX_HEADERS = 100
+
+
+class _Overflow(Exception):
+    """Admission queue full — mapped to 429 + Retry-After."""
+
+
+class _ServiceRegistry(MetricsRegistry):
+    """The server's metrics registry.
+
+    Two service-specific behaviors on top of the stock registry: wall
+    spans recorded by job worker threads are forwarded to the owning
+    job's WebSocket event stream (thread → job binding maintained by
+    the server), and the stored span list is bounded so a long-running
+    server cannot accumulate span records without limit.
+    """
+
+    _MAX_SPANS = 8192
+
+    def __init__(self, server: "JobServer"):
+        super().__init__()
+        self._server = server
+
+    def add_span(self, name, start, duration, clock="wall", track="",
+                 **args):
+        rec = super().add_span(name, start, duration, clock, track, **args)
+        if len(self.spans) > self._MAX_SPANS:
+            del self.spans[: self._MAX_SPANS // 2]
+        if clock == "wall":
+            self._server._span_recorded(name, duration)
+        return rec
+
+
+class _JobRecord:
+    """Server-side state of one admitted job."""
+
+    __slots__ = ("job_id", "request", "job", "digest", "state", "source",
+                 "error", "created", "started", "finished", "sweep_id",
+                 "handle", "events", "subscribers", "seq",
+                 "coalesced_count")
+
+    def __init__(self, job_id: str, request: proto.JobRequest, job,
+                 digest: str, sweep_id: Optional[str] = None):
+        self.job_id = job_id
+        self.request = request
+        self.job = job
+        self.digest = digest
+        self.state = "queued"
+        self.source: Optional[str] = None
+        self.error: Optional[str] = None
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.sweep_id = sweep_id
+        self.handle = None
+        self.events: List[dict] = []
+        self.subscribers: List[asyncio.Queue] = []
+        self.seq = 0
+        self.coalesced_count = 0
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed", "cancelled")
+
+    def status(self, *, coalesced: bool = False) -> proto.JobStatus:
+        return proto.JobStatus(
+            job_id=self.job_id, digest=self.digest, state=self.state,
+            source=self.source, coalesced=coalesced, error=self.error,
+            created=self.created, started=self.started,
+            finished=self.finished, describe=self.job.describe(),
+            sweep_id=self.sweep_id,
+        )
+
+
+class JobServer:
+    """The asyncio job server.  Create, ``await start()``, then either
+    ``await serve_until(event)`` (CLI) or drive it from tests via
+    :func:`serve_in_background`."""
+
+    def __init__(self, engine: Optional[ExecutionEngine] = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 queue_limit: int = 64, retry_after: float = 1.0,
+                 close_engine: bool = False):
+        self.engine = engine if engine is not None else get_engine()
+        self.host = host
+        self.port = port
+        self.queue_limit = max(int(queue_limit), 1)
+        self.retry_after = retry_after
+        self.registry: _ServiceRegistry = _ServiceRegistry(self)
+        self._close_engine = close_engine
+        self._jobs: Dict[str, _JobRecord] = {}
+        self._by_digest: Dict[str, _JobRecord] = {}
+        self._inflight = 0
+        self._draining = False
+        self._ids = itertools.count(1)
+        self._sweep_ids = itertools.count(1)
+        self._thread_jobs: Dict[int, str] = {}
+        self._global_subs: List[asyncio.Queue] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._idle: Optional[asyncio.Event] = None
+        self._prev_registry = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> "JobServer":
+        self._loop = asyncio.get_running_loop()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        # The service owns process telemetry while it runs: span
+        # forwarding and the service.* counters need an active
+        # registry.  The previous one is restored on shutdown.
+        self._prev_registry = telemetry.active()
+        telemetry.enable(self.registry)
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_until(self, stop: asyncio.Event, *,
+                          drain: bool = True) -> None:
+        await stop.wait()
+        await self.shutdown(drain=drain)
+
+    async def shutdown(self, drain: bool = True,
+                       timeout: Optional[float] = None) -> None:
+        """Stop accepting work; drain (or cancel) in-flight jobs.
+
+        With ``drain=True`` every admitted job runs to completion and
+        its terminal event is published before the call returns — the
+        Ctrl-C path.  With ``drain=False`` queued jobs are cancelled
+        first; jobs already running still finish (a simulation cannot
+        be preempted mid-kernel)."""
+        if self._server is None:
+            return
+        self._draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        if not drain:
+            for rec in list(self._by_digest.values()):
+                if rec.handle is not None:
+                    rec.handle.cancel()
+        await asyncio.wait_for(self._idle.wait(), timeout)
+        self._publish_global({"type": "server", "state": "stopped"})
+        # Give WebSocket streamers one tick to flush terminal events.
+        await asyncio.sleep(0)
+        if self._close_engine:
+            self.engine.close()
+        if telemetry.active() is self.registry:
+            if self._prev_registry is not None:
+                telemetry.enable(self._prev_registry)
+            else:
+                telemetry.disable()
+
+    # -- submission ----------------------------------------------------
+
+    def _admit(self, jr: proto.JobRequest,
+               sweep_id: Optional[str] = None) -> Tuple[_JobRecord, bool]:
+        """Admit one request; returns ``(record, coalesced)``.
+
+        Runs on the event loop thread only, so admission — the digest
+        lookup, the capacity check, and the in-flight registration —
+        is atomic without locks."""
+        job = jr.to_sim_job()          # ProtocolError -> 400 upstream
+        digest = job.digest()
+        if self._draining:
+            raise proto.ProtocolError("server is draining", code="draining")
+        live = self._by_digest.get(digest)
+        if live is not None:
+            live.coalesced_count += 1
+            self.registry.count("service.coalesced")
+            return live, True
+        if self._inflight >= self.queue_limit:
+            self.registry.count("service.rejected")
+            raise _Overflow()
+        job_id = f"j{next(self._ids):05d}-{digest[:8]}"
+        rec = _JobRecord(job_id, jr, job, digest, sweep_id=sweep_id)
+        self._jobs[job_id] = rec
+        self.registry.count("service.submitted")
+        self._publish(rec, {"type": "status", "state": "queued"})
+
+        def _on_start(rec=rec):
+            # Worker thread: bind for span attribution, then flip state.
+            self._thread_jobs[threading.get_ident()] = rec.job_id
+            self._call_soon(self._mark_running, rec)
+
+        handle = self.engine.submit(job, on_start=_on_start)
+        rec.handle = handle
+        if handle.source in ("memo", "cache"):
+            # Answered without execution: terminal immediately.
+            rec.source = "cache"
+            rec.state = "done"
+            rec.finished = time.time()
+            self.registry.count("service.cache_hits")
+            self._publish(rec, {"type": "status", "state": "done",
+                                "source": rec.source})
+            return rec, False
+        rec.source = "executed"
+        self._by_digest[digest] = rec
+        self._inflight += 1
+        self._idle.clear()
+        self.registry.set_gauge("service.queue.depth", self._inflight)
+
+        def _fut_done(f, rec=rec):
+            # Runs in the worker thread (or loop thread for instant
+            # futures): unbind the span attribution, then finish on
+            # the loop.
+            self._thread_jobs.pop(threading.get_ident(), None)
+            self._call_soon(self._job_finished, rec)
+
+        handle.future.add_done_callback(_fut_done)
+        return rec, False
+
+    def _mark_running(self, rec: _JobRecord) -> None:
+        if rec.state != "queued":
+            return
+        rec.state = "running"
+        rec.started = time.time()
+        self._publish(rec, {"type": "status", "state": "running"})
+
+    def _job_finished(self, rec: _JobRecord) -> None:
+        if rec.terminal:
+            return
+        fut = rec.handle.future
+        if fut.cancelled():
+            rec.state = "cancelled"
+            self.registry.count("service.cancelled")
+        elif fut.exception() is not None:
+            rec.state = "failed"
+            rec.error = repr(fut.exception())
+            self.registry.count("service.failed")
+        else:
+            rec.state = "done"
+            self.registry.count("service.completed")
+        rec.finished = time.time()
+        if self._by_digest.get(rec.digest) is rec:
+            del self._by_digest[rec.digest]
+        self._inflight -= 1
+        self.registry.set_gauge("service.queue.depth", self._inflight)
+        if self._inflight == 0:
+            self._idle.set()
+        self.registry.observe("service.job.seconds",
+                              rec.finished - rec.created,
+                              scheme=rec.job.scheme)
+        self._publish(rec, {"type": "status", "state": rec.state,
+                            "source": rec.source, "error": rec.error})
+
+    # -- events --------------------------------------------------------
+
+    def _call_soon(self, fn, *args) -> None:
+        try:
+            self._loop.call_soon_threadsafe(fn, *args)
+        except RuntimeError:
+            pass  # loop already closed (late callback during teardown)
+
+    def _span_recorded(self, name: str, duration: float) -> None:
+        """Called by the registry from whatever thread recorded a wall
+        span; forwards it to the owning job's stream, if any."""
+        job_id = self._thread_jobs.get(threading.get_ident())
+        if job_id is None or self._loop is None:
+            return
+        self._call_soon(self._publish_span, job_id, name, duration)
+
+    def _publish_span(self, job_id: str, name: str,
+                      duration: float) -> None:
+        rec = self._jobs.get(job_id)
+        if rec is None or rec.terminal:
+            return
+        self._publish(rec, {"type": "span", "name": name,
+                            "duration_s": round(duration, 6)})
+
+    def _publish(self, rec: _JobRecord, event: dict) -> None:
+        event = dict(event)
+        event.setdefault("job_id", rec.job_id)
+        event["ts"] = time.time()
+        event["seq"] = rec.seq
+        rec.seq += 1
+        rec.events.append(event)
+        for q in rec.subscribers:
+            q.put_nowait(event)
+        for q in self._global_subs:
+            q.put_nowait(event)
+
+    def _publish_global(self, event: dict) -> None:
+        event = dict(event)
+        event["ts"] = time.time()
+        for q in self._global_subs:
+            q.put_nowait(event)
+
+    # -- HTTP ----------------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            parsed = await self._read_request(reader)
+            if parsed is None:
+                return
+            method, path, query, headers, body = parsed
+            if headers.get("upgrade", "").lower() == "websocket":
+                await self._handle_ws(reader, writer, method, path, headers)
+                return
+            t0 = time.perf_counter()
+            status, payload, extra = self._route(method, path, query, body)
+            label = f"{method} {self._route_label(path)}"
+            self.registry.count("service.requests", route=label)
+            self.registry.observe("service.request.seconds",
+                                  time.perf_counter() - t0, route=label)
+            await self._write_response(writer, status, payload, extra)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        except Exception as exc:  # never let one request kill the server
+            try:
+                await self._write_response(
+                    writer, 500, {"error": repr(exc), "code": "internal"})
+            except Exception:
+                pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    @staticmethod
+    async def _read_request(reader):
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise proto.ProtocolError("malformed request line")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        for _ in range(_MAX_HEADERS):
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = raw.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        else:
+            raise proto.ProtocolError("too many headers")
+        length = int(headers.get("content-length", 0) or 0)
+        if length > _MAX_BODY:
+            raise proto.ProtocolError("request body too large")
+        body = await reader.readexactly(length) if length else b""
+        path, _, query = target.partition("?")
+        return method.upper(), path, query, headers, body
+
+    async def _write_response(self, writer, status: int,
+                              payload: Optional[dict],
+                              extra: Optional[Dict[str, str]] = None):
+        body = proto.dumps(payload if payload is not None else {})
+        headers = {
+            "Content-Type": "application/json",
+            "Content-Length": str(len(body)),
+            "Connection": "close",
+        }
+        if extra:
+            headers.update(extra)
+        head = f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        head += "".join(f"{k}: {v}\r\n" for k, v in headers.items())
+        writer.write(head.encode("latin-1") + b"\r\n" + body)
+        await writer.drain()
+
+    @staticmethod
+    def _route_label(path: str) -> str:
+        parts = path.strip("/").split("/")
+        if len(parts) >= 2 and parts[1] == "jobs" and len(parts) > 2:
+            parts[2] = "{id}"
+        return "/" + "/".join(parts)
+
+    def _route(self, method: str, path: str, query: str,
+               body: bytes) -> Tuple[int, Optional[dict],
+                                     Optional[Dict[str, str]]]:
+        try:
+            return self._dispatch(method, path, body)
+        except _Overflow:
+            return 429, {"error": "admission queue full",
+                         "code": "queue_full",
+                         "queue_limit": self.queue_limit}, \
+                {"Retry-After": str(max(int(self.retry_after), 1))}
+        except proto.ProtocolError as exc:
+            status = 503 if exc.code == "draining" else 400
+            return status, {"error": str(exc), "code": exc.code}, None
+
+    def _dispatch(self, method, path, body):
+        parts = [p for p in path.strip("/").split("/") if p]
+        if not parts or parts[0] != "v1":
+            return 404, {"error": f"no such path {path!r}",
+                         "code": "not_found"}, None
+        rest = parts[1:]
+
+        if rest == ["healthz"]:
+            return 200, {"ok": True, "version": repro.__version__,
+                         "protocol": proto.PROTOCOL_VERSION,
+                         "draining": self._draining}, None
+
+        if rest == ["stats"]:
+            return 200, self._stats_payload(), None
+
+        if rest == ["shutdown"]:
+            if method != "POST":
+                return 405, {"error": "POST only", "code": "method"}, None
+            opts = proto.loads(body) if body else {}
+            drain = bool(opts.get("drain", True))
+            asyncio.get_running_loop().create_task(
+                self.shutdown(drain=drain))
+            return 202, {"ok": True, "draining": True}, None
+
+        if rest == ["jobs"] and method == "POST":
+            jr = proto.JobRequest.from_dict(proto.loads(body))
+            rec, coalesced = self._admit(jr)
+            status = 200 if (coalesced or rec.terminal) else 202
+            return status, rec.status(coalesced=coalesced).to_dict(), None
+
+        if rest == ["sweeps"] and method == "POST":
+            sweep = proto.SweepRequest.from_dict(proto.loads(body))
+            return self._admit_sweep(sweep)
+
+        if rest == ["jobs"] and method == "GET":
+            jobs = sorted(self._jobs.values(), key=lambda r: r.created)
+            return 200, {"jobs": [r.status().to_dict() for r in jobs],
+                         "inflight": self._inflight,
+                         "queue_limit": self.queue_limit}, None
+
+        if len(rest) >= 2 and rest[0] == "jobs":
+            rec = self._jobs.get(rest[1])
+            if rec is None:
+                return 404, {"error": f"unknown job {rest[1]!r}",
+                             "code": "unknown_job"}, None
+            if len(rest) == 2 and method == "GET":
+                return 200, rec.status().to_dict(), None
+            if len(rest) == 2 and method == "DELETE":
+                return self._cancel(rec)
+            if rest[2:] == ["result"] and method == "GET":
+                return self._result(rec)
+
+        return 404, {"error": f"no route for {method} {path}",
+                     "code": "not_found"}, None
+
+    def _admit_sweep(self, sweep: proto.SweepRequest):
+        sweep_id = f"s{next(self._sweep_ids):04d}"
+        statuses, n_coalesced = [], 0
+        for jr in sweep.expand():
+            try:
+                rec, coalesced = self._admit(jr, sweep_id=sweep_id)
+            except _Overflow:
+                # Jobs admitted so far stay admitted; the client sees
+                # exactly which, and a retried sweep coalesces onto
+                # them instead of re-queueing.
+                return 429, {"error": "admission queue full mid-sweep",
+                             "code": "queue_full",
+                             "sweep_id": sweep_id,
+                             "admitted": statuses}, \
+                    {"Retry-After": str(max(int(self.retry_after), 1))}
+            n_coalesced += bool(coalesced)
+            statuses.append(rec.status(coalesced=coalesced).to_dict())
+        return 202, {"sweep_id": sweep_id, "jobs": statuses,
+                     "n_jobs": len(statuses),
+                     "n_coalesced": n_coalesced}, None
+
+    def _cancel(self, rec: _JobRecord):
+        if rec.terminal:
+            return 409, {"error": f"job already {rec.state}",
+                         "code": "terminal"}, None
+        if rec.handle is not None and rec.handle.cancel():
+            return 200, rec.status().to_dict(), None
+        return 409, {"error": "job already running (or shared); "
+                              "cannot cancel", "code": "running"}, None
+
+    def _result(self, rec: _JobRecord):
+        if rec.state != "done":
+            return 409, {"error": f"job is {rec.state}, not done",
+                         "code": "not_done",
+                         "state": rec.state}, None
+        res = rec.handle.future.result()
+        payload = proto.JobResult(
+            job_id=rec.job_id, digest=rec.digest,
+            elapsed=round((rec.finished or 0) - rec.created, 6),
+            result=proto.encode_result(res), source=rec.source,
+        )
+        return 200, payload.to_dict(), None
+
+    def _stats_payload(self) -> dict:
+        snap = self.registry.snapshot()
+
+        def _section(d):
+            return {k: v for k, v in d.items() if k.startswith("service.")}
+
+        return {
+            "service": {
+                "counters": _section(snap["counters"]),
+                "gauges": _section(snap["gauges"]),
+                "histograms": _section(snap["histograms"]),
+            },
+            "engine": self.engine.describe(),
+            "jobs": {"total": len(self._jobs),
+                     "inflight": self._inflight,
+                     "queue_limit": self.queue_limit,
+                     "draining": self._draining},
+        }
+
+    # -- WebSocket -----------------------------------------------------
+
+    async def _handle_ws(self, reader, writer, method, path, headers):
+        key = headers.get("sec-websocket-key")
+        parts = [p for p in path.strip("/").split("/") if p]
+        rec = None
+        if parts[:1] == ["v1"] and parts[1:] == ["events"]:
+            target = "all"
+        elif (len(parts) == 4 and parts[0] == "v1" and parts[1] == "jobs"
+                and parts[3] == "events"):
+            target = "job"
+            rec = self._jobs.get(parts[2])
+            if rec is None:
+                await self._write_response(
+                    writer, 404, {"error": f"unknown job {parts[2]!r}",
+                                  "code": "unknown_job"})
+                return
+        else:
+            await self._write_response(
+                writer, 404, {"error": f"no websocket at {path!r}",
+                              "code": "not_found"})
+            return
+        if method != "GET" or not key:
+            await self._write_response(
+                writer, 400, {"error": "bad websocket handshake",
+                              "code": "bad_handshake"})
+            return
+        accept = base64.b64encode(hashlib.sha1(
+            (key + _WS_GUID).encode("latin-1")).digest()).decode()
+        writer.write(
+            b"HTTP/1.1 101 Switching Protocols\r\n"
+            b"Upgrade: websocket\r\nConnection: Upgrade\r\n"
+            b"Sec-WebSocket-Accept: " + accept.encode() + b"\r\n\r\n")
+        await writer.drain()
+        self.registry.count("service.ws.connections")
+        if target == "job":
+            await self._ws_stream_job(reader, writer, rec)
+        else:
+            await self._ws_stream_all(reader, writer)
+
+    async def _ws_stream_job(self, reader, writer, rec: _JobRecord):
+        queue: asyncio.Queue = asyncio.Queue()
+        rec.subscribers.append(queue)
+        history = list(rec.events)   # no await between subscribe+snapshot
+        try:
+            closing = asyncio.ensure_future(self._ws_drain_client(
+                reader, writer))
+            ended = False
+            for ev in history:
+                await self._ws_send_json(writer, ev)
+                ended = ended or self._ws_is_terminal(ev)
+            while not ended and not closing.done():
+                getter = asyncio.ensure_future(queue.get())
+                done, _ = await asyncio.wait(
+                    {getter, closing},
+                    return_when=asyncio.FIRST_COMPLETED)
+                if getter not in done:
+                    getter.cancel()
+                    break
+                ev = getter.result()
+                await self._ws_send_json(writer, ev)
+                ended = self._ws_is_terminal(ev)
+            await self._ws_close(writer)
+            closing.cancel()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if queue in rec.subscribers:
+                rec.subscribers.remove(queue)
+
+    async def _ws_stream_all(self, reader, writer):
+        queue: asyncio.Queue = asyncio.Queue()
+        self._global_subs.append(queue)
+        try:
+            closing = asyncio.ensure_future(self._ws_drain_client(
+                reader, writer))
+            while not closing.done():
+                getter = asyncio.ensure_future(queue.get())
+                done, _ = await asyncio.wait(
+                    {getter, closing},
+                    return_when=asyncio.FIRST_COMPLETED)
+                if getter not in done:
+                    getter.cancel()
+                    break
+                ev = getter.result()
+                await self._ws_send_json(writer, ev)
+                if ev.get("type") == "server":
+                    break
+            await self._ws_close(writer)
+            closing.cancel()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if queue in self._global_subs:
+                self._global_subs.remove(queue)
+
+    @staticmethod
+    def _ws_is_terminal(ev: dict) -> bool:
+        return (ev.get("type") == "status"
+                and ev.get("state") in ("done", "failed", "cancelled"))
+
+    async def _ws_drain_client(self, reader, writer) -> None:
+        """Consume client frames: answer pings, return on close/EOF."""
+        try:
+            while True:
+                opcode, payload = await _ws_read_frame(reader)
+                if opcode == 0x8:      # close
+                    return
+                if opcode == 0x9:      # ping -> pong
+                    writer.write(_ws_encode_frame(payload, opcode=0xA))
+                    await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return
+
+    async def _ws_send_json(self, writer, obj: dict) -> None:
+        writer.write(_ws_encode_frame(proto.dumps(obj), opcode=0x1))
+        await writer.drain()
+        self.registry.count("service.ws.events")
+
+    @staticmethod
+    async def _ws_close(writer) -> None:
+        try:
+            writer.write(_ws_encode_frame(b"", opcode=0x8))
+            await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass
+
+
+# -- RFC 6455 framing ---------------------------------------------------
+
+
+def _ws_encode_frame(payload: bytes, opcode: int = 0x1,
+                     mask: bool = False) -> bytes:
+    """One FIN frame.  Servers send unmasked; clients must mask."""
+    head = bytearray([0x80 | opcode])
+    n = len(payload)
+    mask_bit = 0x80 if mask else 0
+    if n < 126:
+        head.append(mask_bit | n)
+    elif n < (1 << 16):
+        head.append(mask_bit | 126)
+        head += n.to_bytes(2, "big")
+    else:
+        head.append(mask_bit | 127)
+        head += n.to_bytes(8, "big")
+    if mask:
+        import os as _os
+
+        key = _os.urandom(4)
+        head += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(head) + payload
+
+
+async def _ws_read_frame(reader) -> Tuple[int, bytes]:
+    """``(opcode, payload)`` of the next frame, unmasking if needed."""
+    head = await reader.readexactly(2)
+    opcode = head[0] & 0x0F
+    masked = bool(head[1] & 0x80)
+    n = head[1] & 0x7F
+    if n == 126:
+        n = int.from_bytes(await reader.readexactly(2), "big")
+    elif n == 127:
+        n = int.from_bytes(await reader.readexactly(8), "big")
+    key = await reader.readexactly(4) if masked else None
+    payload = await reader.readexactly(n) if n else b""
+    if key:
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return opcode, payload
+
+
+# -- embedding helpers ---------------------------------------------------
+
+
+class BackgroundServer:
+    """A :class:`JobServer` running on its own event loop thread —
+    what tests, benchmarks, and the smoke script embed."""
+
+    def __init__(self, server: JobServer, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread):
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self, drain: bool = True, timeout: float = 120.0) -> None:
+        if not self._thread.is_alive():
+            return
+        fut = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(drain=drain), self._loop)
+        fut.result(timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_in_background(engine: Optional[ExecutionEngine] = None,
+                        **kwargs: Any) -> BackgroundServer:
+    """Start a :class:`JobServer` on a daemon thread; returns once it
+    is accepting connections (``.url`` is live)."""
+    started = threading.Event()
+    holder: Dict[str, Any] = {}
+
+    def _run():
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        server = JobServer(engine, **kwargs)
+        try:
+            loop.run_until_complete(server.start())
+            holder["server"], holder["loop"] = server, loop
+        except BaseException as exc:   # surface bind errors to caller
+            holder["error"] = exc
+            started.set()
+            loop.close()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    thread = threading.Thread(target=_run, name="netsparse-service",
+                              daemon=True)
+    thread.start()
+    if not started.wait(30):
+        raise RuntimeError("service failed to start within 30s")
+    if "error" in holder:
+        raise holder["error"]
+    return BackgroundServer(holder["server"], holder["loop"], thread)
+
+
+def run_server(engine: Optional[ExecutionEngine] = None, *,
+               host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+               queue_limit: int = 64, close_engine: bool = False,
+               announce=print) -> int:
+    """Blocking foreground server — the ``netsparse serve`` entry.
+
+    Installs SIGINT/SIGTERM handlers: the first signal stops accepting
+    submissions and *drains* in-flight jobs before exiting."""
+    import signal
+
+    async def _main() -> int:
+        server = JobServer(engine, host=host, port=port,
+                           queue_limit=queue_limit,
+                           close_engine=close_engine)
+        await server.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-unix / nested loop
+        announce(f"[serve] listening on {server.url} "
+                 f"(workers={server.engine.jobs}, "
+                 f"queue-limit={server.queue_limit})")
+        await stop.wait()
+        announce("[serve] signal received: draining in-flight jobs ...")
+        await server.shutdown(drain=True)
+        announce("[serve] drained; bye")
+        return 0
+
+    return asyncio.run(_main())

@@ -1,0 +1,287 @@
+"""Concurrency hardening tests: cache writers racing ``clear()``,
+engine lifecycle (idempotent/concurrent close, leak-free
+reconfiguration), and the async submit bridge's coalescing semantics."""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro.parallel.engine as engine_mod
+from repro.config import NetSparseConfig
+from repro.parallel import (
+    ExecutionEngine,
+    ResultCache,
+    SimJob,
+    engine_scope,
+    get_engine,
+    set_engine,
+)
+
+
+def _job(k=8, matrix="arabic"):
+    return SimJob(scheme="netsparse", matrix=matrix, k=k,
+                  config=NetSparseConfig(), scale_name="tiny")
+
+
+# -- ResultCache under concurrency --------------------------------------
+
+
+def test_cache_put_get_clear_stress(tmp_path):
+    """Many writers, readers, and clearers on one cache root: no
+    exceptions, no torn reads, no leftover temp files."""
+    cache = ResultCache(tmp_path)
+    digests = [f"{i:02x}" + "ab" * 31 for i in range(16)]
+    stop = threading.Event()
+    errors = []
+
+    def writer(seed):
+        i = seed
+        while not stop.is_set():
+            d = digests[i % len(digests)]
+            try:
+                cache.put(d, {"payload": d}, meta={"scheme": "netsparse"},
+                          elapsed=0.5)
+            except Exception as exc:       # pragma: no cover
+                errors.append(("put", exc))
+            i += 1
+
+    def reader():
+        while not stop.is_set():
+            for d in digests:
+                try:
+                    entry = cache.get(d)
+                except Exception as exc:   # pragma: no cover
+                    errors.append(("get", exc))
+                    continue
+                if entry is not None and entry.result != {"payload": d}:
+                    errors.append(("torn", d))
+
+    def clearer():
+        while not stop.is_set():
+            try:
+                cache.clear()
+            except Exception as exc:       # pragma: no cover
+                errors.append(("clear", exc))
+            time.sleep(0.002)
+
+    threads = ([threading.Thread(target=writer, args=(i,)) for i in range(4)]
+               + [threading.Thread(target=reader) for _ in range(2)]
+               + [threading.Thread(target=clearer)])
+    for t in threads:
+        t.start()
+    time.sleep(1.0)
+    stop.set()
+    for t in threads:
+        t.join(10)
+        assert not t.is_alive()
+    assert errors == []
+    cache.clear()
+    assert list(tmp_path.glob("*/*.tmp")) == []
+    assert list(tmp_path.glob("*/*.pkl")) == []
+
+
+def test_cache_put_survives_concurrent_rmtree(tmp_path, monkeypatch):
+    """A clear() sweeping the shard directory between mkdir and rename
+    costs the writer one retry, not an exception."""
+    import shutil
+
+    cache = ResultCache(tmp_path)
+    digest = "cd" * 32
+    shard = tmp_path / digest[:2]
+    real_mkstemp = engine_mod.ResultCache  # keep linters quiet
+    del real_mkstemp
+
+    original_replace = engine_mod.ResultCache.put.__globals__["os"].replace
+    calls = {"n": 0}
+
+    def racing_replace(src, dst):
+        if calls["n"] == 0:
+            calls["n"] += 1
+            shutil.rmtree(shard)           # an external `cache clear`
+        return original_replace(src, dst)
+
+    monkeypatch.setattr("repro.parallel.cache.os.replace", racing_replace)
+    cache.put(digest, {"ok": 1}, meta={}, elapsed=0.0)
+    assert cache.get(digest).result == {"ok": 1}
+    assert calls["n"] == 1                 # the race really happened
+
+
+def test_cache_info_tolerates_disappearing_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("ef" * 32, {"x": 1}, meta={"scheme": "s"}, elapsed=1.0)
+    info = cache.info()
+    assert info.n_entries == 1
+    assert info.sim_seconds == 1.0
+
+
+# -- engine lifecycle ----------------------------------------------------
+
+
+def test_close_idempotent_and_concurrent(tmp_path):
+    eng = ExecutionEngine(jobs=2, cache=ResultCache(tmp_path))
+    eng.run_jobs([_job(8)])                # spin up state
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        list(pool.map(lambda _: eng.close(), range(8)))
+    eng.close()                            # and once more, re-entrant
+    assert eng.describe()["closed"] is True
+    # Post-close: sync paths still answer (serially), submit refuses.
+    assert eng.run_job(_job(8)) is not None
+    with pytest.raises(RuntimeError):
+        eng.submit(_job(16))
+
+
+def test_close_drains_inflight_bridge_work(tmp_path, monkeypatch):
+    gate = threading.Event()
+    real = engine_mod.timed_execute
+
+    def slow(job):
+        gate.wait(30)
+        return real(job)
+
+    monkeypatch.setattr(engine_mod, "timed_execute", slow)
+    eng = ExecutionEngine(jobs=1, cache=ResultCache(tmp_path))
+    handle = eng.submit(_job(9))
+    closer = threading.Thread(target=eng.close, daemon=True)
+    closer.start()
+    time.sleep(0.2)
+    assert closer.is_alive()               # close() is waiting, not killing
+    gate.set()
+    closer.join(30)
+    assert not closer.is_alive()
+    assert handle.result(5) is not None    # the drained job completed
+    assert eng.cache.get(handle.digest) is not None
+
+
+def test_configure_engine_failure_keeps_previous(tmp_path, monkeypatch):
+    from repro.parallel import configure_engine
+
+    previous = get_engine()
+    real_init = ResultCache.__init__
+
+    def boom(self, root=None):
+        raise OSError("synthetic cache failure")
+
+    monkeypatch.setattr(ResultCache, "__init__", boom)
+    with pytest.raises(OSError):
+        configure_engine(jobs=2, cache_dir=tmp_path)
+    monkeypatch.setattr(ResultCache, "__init__", real_init)
+    # The old default engine is still installed and still working.
+    assert get_engine() is previous
+    assert previous.run_job(_job(8)) is not None
+
+
+def test_set_engine_swap_is_atomic():
+    """Hammer set_engine from many threads: every engine handed in is
+    handed back out exactly once (no lost or duplicated references)."""
+    sentinel = get_engine()
+    engines = [ExecutionEngine() for _ in range(32)]
+    returned = []
+    lock = threading.Lock()
+
+    def swap(e):
+        prev = set_engine(e)
+        with lock:
+            returned.append(prev)
+
+    threads = [threading.Thread(target=swap, args=(e,)) for e in engines]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(10)
+    final = set_engine(sentinel)           # restore the default
+    with lock:
+        returned.append(final)
+    # Conservation: {sentinel} + engines == set(returned)
+    assert set(map(id, returned)) == {id(sentinel)} | set(map(id, engines))
+    assert len(returned) == len(engines) + 1
+
+
+def test_engine_scope_restores_on_exception():
+    before = get_engine()
+    inner = ExecutionEngine()
+    with pytest.raises(ValueError):
+        with engine_scope(inner):
+            assert get_engine() is inner
+            raise ValueError("boom")
+    assert get_engine() is before
+
+
+# -- async submit bridge -------------------------------------------------
+
+
+def test_submit_sources_memo_cache_inflight(tmp_path, monkeypatch):
+    eng = ExecutionEngine(jobs=1, cache=ResultCache(tmp_path))
+    gate = threading.Event()
+    real = engine_mod.timed_execute
+
+    def slow(job):
+        gate.wait(30)
+        return real(job)
+
+    monkeypatch.setattr(engine_mod, "timed_execute", slow)
+    first = eng.submit(_job(8))
+    assert first.source == "executed"
+    dup = eng.submit(_job(8))
+    assert dup.source == "inflight"
+    assert dup.future is first.future      # literally shared
+    assert dup.cancel() is False           # someone else is waiting
+    gate.set()
+    result = first.result(30)
+    assert dup.result(5) is result
+
+    memo = eng.submit(_job(8))
+    assert memo.source == "memo" and memo.done()
+    eng._memo.clear()                      # force the disk-cache path
+    cached = eng.submit(_job(8))
+    assert cached.source == "cache" and cached.done()
+    assert cached.result().total_time == result.total_time  # same bits
+    assert eng.stats.executed == 1
+    eng.close()
+
+
+def test_submit_cancel_queued(tmp_path, monkeypatch):
+    gate = threading.Event()
+    real = engine_mod.timed_execute
+
+    def slow(job):
+        gate.wait(30)
+        return real(job)
+
+    monkeypatch.setattr(engine_mod, "timed_execute", slow)
+    eng = ExecutionEngine(jobs=1, cache=None)   # one worker: 2nd queues
+    running = eng.submit(_job(8))
+    queued = eng.submit(_job(16))
+    assert queued.cancel() is True
+    gate.set()
+    assert running.result(30) is not None
+    with pytest.raises(Exception):
+        queued.result(5)                   # CancelledError
+    assert len(eng._inflight) == 0         # cancelled job deregistered
+    # A fresh submission of the cancelled digest executes normally.
+    redo = eng.submit(_job(16))
+    assert redo.source == "executed"
+    assert redo.result(30) is not None
+    eng.close()
+
+
+def test_submit_concurrent_same_digest_single_execution(tmp_path,
+                                                        monkeypatch):
+    executions = []
+    real = engine_mod.timed_execute
+
+    def counting(job):
+        executions.append(job.digest())
+        return real(job)
+
+    monkeypatch.setattr(engine_mod, "timed_execute", counting)
+    eng = ExecutionEngine(jobs=4, cache=ResultCache(tmp_path))
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        handles = list(pool.map(lambda _: eng.submit(_job(8)), range(16)))
+    results = {id(h.result(60)) for h in handles}
+    assert len(executions) == 1
+    assert len(results) == 1               # the one result object, shared
+    assert eng.stats.jobs == 16
+    assert eng.stats.executed == 1
+    eng.close()

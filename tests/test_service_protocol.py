@@ -1,0 +1,178 @@
+"""Wire-protocol tests: dataclass <-> JSON round-trips, version and
+unknown-field tolerance, canonical digests, bit-exact result encoding."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import NetSparseConfig
+from repro.results import CommResult
+from repro.service import protocol as proto
+
+
+def _request(**over):
+    base = dict(scheme="netsparse", matrix="arabic", k=16,
+                scale_name="tiny", seed=7)
+    base.update(over)
+    return proto.JobRequest(**base)
+
+
+# -- round-trips ---------------------------------------------------------
+
+
+def test_job_request_round_trip():
+    jr = _request(config={"n_nodes": 32})
+    again = proto.JobRequest.from_dict(proto.loads(proto.dumps(jr)))
+    assert again == jr
+
+
+def test_sweep_request_round_trip():
+    sw = proto.SweepRequest(schemes=["netsparse", "suopt"],
+                            matrices=["arabic"], ks=[8, 16],
+                            scale_name="tiny")
+    again = proto.SweepRequest.from_dict(proto.loads(proto.dumps(sw)))
+    assert again == sw
+
+
+def test_job_status_round_trip():
+    st = proto.JobStatus(job_id="j1", digest="d" * 64, state="running",
+                         created=1.5, describe={"scheme": "netsparse"})
+    again = proto.JobStatus.from_dict(proto.loads(proto.dumps(st)))
+    assert again == st
+    assert not st.terminal
+    assert dataclasses.replace(st, state="done").terminal
+
+
+# -- tolerance and rejection --------------------------------------------
+
+
+def test_unknown_fields_are_dropped():
+    data = _request().to_dict()
+    data["some_future_field"] = {"nested": True}
+    jr = proto.JobRequest.from_dict(data)
+    assert jr == _request()
+
+
+def test_newer_protocol_version_rejected():
+    data = _request().to_dict()
+    data["v"] = proto.PROTOCOL_VERSION + 1
+    with pytest.raises(proto.ProtocolError) as exc:
+        proto.JobRequest.from_dict(data)
+    assert exc.value.code == "bad_version"
+
+
+def test_missing_required_field_rejected():
+    with pytest.raises(proto.ProtocolError) as exc:
+        proto.JobRequest.from_dict({"scheme": "netsparse", "matrix": "a"})
+    assert exc.value.code == "missing_field"
+
+
+def test_non_object_rejected():
+    with pytest.raises(proto.ProtocolError):
+        proto.JobRequest.from_dict([1, 2, 3])
+
+
+def test_bad_json_rejected():
+    with pytest.raises(proto.ProtocolError) as exc:
+        proto.loads(b"{nope")
+    assert exc.value.code == "bad_json"
+
+
+def test_unknown_config_field_rejected():
+    with pytest.raises(proto.ProtocolError) as exc:
+        proto.config_from_overrides({"definitely_not_a_knob": 1})
+    assert exc.value.code == "bad_config"
+
+
+def test_unknown_feature_flag_rejected():
+    with pytest.raises(proto.ProtocolError) as exc:
+        proto.config_from_overrides({"features": {"warp_drive": True}})
+    assert exc.value.code == "bad_config"
+
+
+def test_bad_scheme_maps_to_protocol_error():
+    with pytest.raises(proto.ProtocolError) as exc:
+        _request(scheme="nope").to_sim_job()
+    assert exc.value.code == "bad_job"
+
+
+# -- canonical digests ---------------------------------------------------
+
+
+def test_digest_ignores_field_order_and_extras():
+    a = proto.JobRequest.from_dict(
+        {"scheme": "netsparse", "matrix": "arabic", "k": 16,
+         "scale_name": "tiny", "junk": 1})
+    b = proto.JobRequest.from_dict(
+        {"k": 16, "scale_name": "tiny", "matrix": "arabic",
+         "scheme": "netsparse"})
+    assert a.to_sim_job().digest() == b.to_sim_job().digest()
+
+
+def test_config_overrides_change_digest():
+    base = _request().to_sim_job().digest()
+    other = _request(config={"n_nodes": 32}).to_sim_job().digest()
+    assert base != other
+
+
+def test_config_overrides_apply():
+    job = _request(config={"n_nodes": 32,
+                           "features": {"property_cache": False}}).to_sim_job()
+    assert job.config.n_nodes == 32
+    assert job.config.features.property_cache is False
+    defaults = NetSparseConfig()
+    assert job.config.link_bandwidth == defaults.link_bandwidth
+
+
+def test_sweep_expand_dedupes():
+    sw = proto.SweepRequest(schemes=["netsparse", "netsparse"],
+                            matrices=["arabic"], ks=[8, 8, 16])
+    jobs = sw.expand()
+    assert len(jobs) == 2
+    assert {j.k for j in jobs} == {8, 16}
+
+
+# -- bit-exact result transport -----------------------------------------
+
+
+def _fake_result():
+    rng = np.random.default_rng(3)
+    return CommResult(
+        scheme="netsparse", matrix_name="arabic", k=16, n_nodes=8,
+        total_time=rng.random() * 1e-3,
+        per_node_time=rng.random(8),
+        recv_wire_bytes=rng.integers(0, 1 << 40, 8),
+        sent_wire_bytes=rng.integers(0, 1 << 40, 8),
+        useful_payload_bytes=rng.integers(0, 1 << 40, 8),
+        link_bandwidth=12.5e9,
+        extras={"nested": {"arr": rng.random(3).astype(np.float32),
+                           "scalar": np.float64(0.1)}},
+    )
+
+
+def test_result_round_trip_bit_identical():
+    res = _fake_result()
+    wire = proto.loads(proto.dumps(proto.encode_result(res)))
+    back = proto.decode_result(wire)
+    assert back.scheme == res.scheme
+    assert back.total_time == res.total_time          # exact, not approx
+    assert np.array_equal(back.per_node_time, res.per_node_time)
+    assert back.per_node_time.dtype == res.per_node_time.dtype
+    inner = back.extras["nested"]
+    assert np.array_equal(inner["arr"], res.extras["nested"]["arr"])
+    assert inner["arr"].dtype == np.float32
+    assert inner["scalar"] == 0.1
+
+
+def test_decode_rejects_non_result():
+    with pytest.raises(proto.ProtocolError):
+        proto.decode_result({"total_time": 1.0})
+
+
+def test_job_result_wrapper():
+    res = _fake_result()
+    jr = proto.JobResult(job_id="j1", digest="d" * 64, elapsed=0.5,
+                         result=proto.encode_result(res))
+    again = proto.JobResult.from_dict(proto.loads(proto.dumps(jr)))
+    assert again.comm_result().total_time == res.total_time
