@@ -53,6 +53,17 @@ def scale():
     return SCALE
 
 
+@pytest.fixture(autouse=True)
+def _isolate_from_ambient_store(monkeypatch):
+    """Benchmarks assert cold-path behavior against their own tmp
+    caches; an ambient ``REPRO_STORE_DSN`` (warm from an earlier run)
+    would turn those cold misses into store hits and break
+    executed-count assertions.  Benches that want a store open one on
+    a tmp DSN.  Restored after each test, so the session-end artifact
+    upload below still sees the variable."""
+    monkeypatch.delenv("REPRO_STORE_DSN", raising=False)
+
+
 def peak_rss_mb() -> float:
     """High-water resident set of this process, in MiB.
 
@@ -131,3 +142,18 @@ def pytest_sessionfinish(session, exitstatus):
         json.dump(payload, fh, indent=2)
         fh.write("\n")
     print(f"\n[bench] wrote {path} ({len(_BENCH_RECORDS)} results)")
+    if os.environ.get("REPRO_STORE_DSN"):
+        # Mirror the snapshot into the result store's artifact table so
+        # `bench_compare.py --from-store` can diff runs that never share
+        # a filesystem (two CI machines, laptop vs. devbox).
+        try:
+            from repro.store import store_from_env
+
+            store = store_from_env()
+            sha = store.put_artifact(
+                json.dumps(payload, indent=2).encode("utf-8"),
+                kind="bench", name=os.path.basename(path),
+                meta={"scale": SCALE})
+            print(f"[bench] stored snapshot as artifact {sha[:12]}")
+        except Exception as exc:
+            print(f"[bench] store upload skipped: {exc}")

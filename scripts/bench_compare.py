@@ -14,6 +14,10 @@ Intended uses:
   ``--strict`` is given.
 - Locally: ``python scripts/bench_compare.py`` after a benchmark run
   shows what this change did to the perf trajectory.
+- Against the result store: ``--from-store <dsn>`` (or the value of
+  ``$REPRO_STORE_DSN``) diffs the two newest ``bench``-kind artifacts
+  the benchmark session uploaded, so machines that never share a
+  filesystem can still compare trajectories.
 
 Wall time is compared per test; the session-wide peak RSS (the
 ``memory.peak_rss_mb`` block written since the sharded-trace work) is
@@ -149,6 +153,31 @@ def compare(base_path: str, new_path: str, threshold: float,
     return regressions
 
 
+def snapshots_from_store(dsn: str) -> List[str]:
+    """Materialize the two newest ``bench`` artifacts as temp files.
+
+    Returns their paths oldest-first (the order ``compare`` expects),
+    or fewer than two when the store holds no baseline yet.
+    """
+    import tempfile
+
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+    from repro.store import open_store
+
+    store = open_store(dsn)
+    artifacts = store.latest_artifacts("bench", limit=2)
+    paths = []
+    for art in reversed(artifacts):  # newest-first -> oldest-first
+        fd, path = tempfile.mkstemp(
+            prefix="BENCH_store_", suffix=".json")
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(art["content"])
+        print(f"fetched {art['name']} ({art['sha256'][:12]}) -> {path}")
+        paths.append(path)
+    return paths
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="diff the two most recent BENCH_*.json snapshots"
@@ -177,11 +206,27 @@ def main(argv=None) -> int:
         help="exit 1 when regressions are found (default: always 0, "
              "for non-blocking CI)",
     )
+    parser.add_argument(
+        "--from-store", nargs="?", const="", default=None, metavar="DSN",
+        help="diff the two newest 'bench' artifacts from the result "
+             "store instead of local files (DSN defaults to "
+             "$REPRO_STORE_DSN)",
+    )
     args = parser.parse_args(argv)
 
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    locations = args.locations or [root, os.path.join(root, "bench-artifacts")]
-    snapshots = collect_snapshots(locations)
+    if args.from_store is not None:
+        dsn = args.from_store or os.environ.get("REPRO_STORE_DSN")
+        if not dsn:
+            print("--from-store needs a DSN argument or $REPRO_STORE_DSN",
+                  file=sys.stderr)
+            return 2
+        locations = [f"store:{dsn}"]
+        snapshots = snapshots_from_store(dsn)
+    else:
+        locations = args.locations or [root,
+                                       os.path.join(root, "bench-artifacts")]
+        snapshots = collect_snapshots(locations)
     if len(snapshots) < 2:
         # First run of a fresh checkout (or a cleared artifacts dir):
         # there is no baseline yet, which is a normal state, not an

@@ -14,6 +14,10 @@ Usage::
     netsparse collectives --smoke
     netsparse cache info
     netsparse cache clear
+    netsparse store info [--dsn sqlite:///...]
+    netsparse store migrate
+    netsparse store history [--experiment E] [--scheme S] [--since 7d]
+    netsparse store gc [--days 30] [--ledger] [--dry-run]
     netsparse serve [--port 8642] [--jobs 4] [--queue-limit 64]
     netsparse submit --scheme netsparse --matrix arabic -k 16 [--wait]
     netsparse submit --scheme netsparse,suopt --matrix arabic,uk -k 8,16
@@ -47,6 +51,17 @@ the result cache, and per-job progress streams over WebSocket.
 ``submit`` and ``jobs`` are thin clients for it; comma-separated values
 to ``submit`` expand into a sweep.  Ctrl-C on a running server drains
 in-flight jobs before exiting.
+
+``store`` inspects the shared result/artifact store
+(:mod:`repro.store`): ``info`` prints backend/schema/row counts,
+``migrate`` applies pending schema migrations (idempotent — a second
+run is a no-op), ``history`` queries the append-only run ledger
+(filter by experiment, scheme, matrix, scale, source, ``--since 7d``),
+and ``gc`` reclaims old result rows and artifacts (the ledger is kept
+unless ``--ledger`` is given).  The DSN comes from ``--dsn`` or
+``$REPRO_STORE_DSN``; with the env var set, ``run``/``report``/
+``serve`` transparently share results through the store and
+``cache info`` reports both tiers.
 
 ``collectives`` runs the sparse ML workload families
 (:mod:`repro.workloads`: sparse allreduce + iterative SpMV) on both
@@ -250,6 +265,50 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="cache directory (default: $NETSPARSE_CACHE_DIR "
                             "or ~/.cache/netsparse)")
+    store = sub.add_parser(
+        "store", help="inspect, migrate, query, or garbage-collect the "
+                      "shared result/artifact store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    st_info = store_sub.add_parser(
+        "info", help="backend, schema version, row/artifact/ledger counts")
+    st_migrate = store_sub.add_parser(
+        "migrate", help="apply pending schema migrations (idempotent)")
+    st_history = store_sub.add_parser(
+        "history", help="query the append-only run ledger")
+    st_history.add_argument("--experiment", default=None,
+                            help="filter by experiment id (e.g. table8)")
+    st_history.add_argument("--scheme", default=None,
+                            help="filter by scheme (netsparse, suopt, ...)")
+    st_history.add_argument("--matrix", default=None,
+                            help="filter by benchmark matrix name")
+    st_history.add_argument("--scale", default=None,
+                            help="filter by scale name (tiny, small, ...)")
+    st_history.add_argument("--source", default=None,
+                            help="filter by answer source (executed, cache, "
+                                 "memo, inflight, coalesced)")
+    st_history.add_argument("--since", default=None, metavar="WHEN",
+                            help="only rows at/after WHEN: ISO date "
+                                 "(2026-08-01), relative (7d, 12h, 30m), "
+                                 "or epoch seconds")
+    st_history.add_argument("--limit", type=int, default=50, metavar="N",
+                            help="max rows (default 50; 0 = unlimited)")
+    st_history.add_argument("--json", action="store_true",
+                            help="emit rows as JSON instead of a table")
+    st_gc = store_sub.add_parser(
+        "gc", help="reclaim result rows and artifacts older than a cutoff")
+    st_gc.add_argument("--days", type=float, default=30.0, metavar="D",
+                       help="age cutoff in days (default 30)")
+    st_gc.add_argument("--ledger", action="store_true",
+                       help="also prune run-ledger rows older than the "
+                            "cutoff (kept by default: it is the audit "
+                            "trail)")
+    st_gc.add_argument("--dry-run", action="store_true",
+                       help="report what would be removed, remove nothing")
+    for p in (st_info, st_migrate, st_history, st_gc):
+        p.add_argument("--dsn", default=None, metavar="DSN",
+                       help="store DSN (default: $REPRO_STORE_DSN), e.g. "
+                            "sqlite:////var/lib/netsparse/store.sqlite3")
     return parser
 
 
@@ -273,7 +332,112 @@ def _cache_main(args) -> int:
         print(cache.info().format())
     else:
         removed = cache.clear()
-        print(f"removed {removed} cached results from {cache.root}")
+        print(f"removed {removed} cached files from {cache.root}")
+    return 0
+
+
+def _store_dsn(args) -> str:
+    dsn = args.dsn or os.environ.get("REPRO_STORE_DSN")
+    if not dsn:
+        raise SystemExit(
+            "no store configured: pass --dsn or set $REPRO_STORE_DSN "
+            "(e.g. sqlite:////var/lib/netsparse/store.sqlite3)")
+    return dsn
+
+
+def _parse_since(text):
+    """``--since`` spellings -> epoch seconds: ISO date(time), relative
+    (``7d``/``12h``/``30m``), or raw epoch seconds."""
+    import datetime as dt
+    import re
+
+    if text is None:
+        return None
+    text = text.strip()
+    m = re.fullmatch(r"(\d+(?:\.\d+)?)([dhm])", text)
+    if m:
+        mult = {"d": 86400.0, "h": 3600.0, "m": 60.0}[m.group(2)]
+        return time.time() - float(m.group(1)) * mult
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    try:
+        return dt.datetime.fromisoformat(text).timestamp()
+    except ValueError:
+        raise SystemExit(f"cannot parse --since {text!r}: use an ISO "
+                         "date, a relative window (7d, 12h, 30m), or "
+                         "epoch seconds")
+
+
+def _store_main(args) -> int:
+    import json as _json
+
+    from repro.store import SCHEMA_VERSION, StoreError, open_store
+
+    try:
+        store = open_store(_store_dsn(args),
+                           migrate=args.store_command != "migrate")
+    except StoreError as exc:
+        print(f"cannot open store: {exc}", file=sys.stderr)
+        return 1
+
+    if args.store_command == "migrate":
+        applied = store.migrate()
+        if applied:
+            print(f"applied migration(s): {applied} "
+                  f"(schema now v{store.schema_version()})")
+        else:
+            print(f"up to date (schema v{store.schema_version()} of "
+                  f"v{SCHEMA_VERSION}); nothing to apply")
+        return 0
+
+    if args.store_command == "info":
+        info = store.describe()
+        print(f"store        : {info.get('backend')} ({info.get('dsn')})")
+        if "size_bytes" in info:
+            print(f"size         : {info['size_bytes'] / 1e6:.2f} MB")
+        print(f"schema       : v{info.get('schema_version')} "
+              f"(latest v{info.get('latest_schema_version')})")
+        print(f"results      : {info.get('results', 0)}")
+        print(f"artifacts    : {info.get('artifacts', 0)}")
+        print(f"ledger rows  : {info.get('ledger', 0)}")
+        return 0
+
+    if args.store_command == "history":
+        rows = store.history(
+            experiment=args.experiment, scheme=args.scheme,
+            matrix=args.matrix, scale=args.scale, source=args.source,
+            since=_parse_since(args.since),
+            limit=args.limit if args.limit > 0 else None,
+        )
+        if args.json:
+            print(_json.dumps(rows, indent=2, sort_keys=True))
+            return 0
+        if not rows:
+            print("no ledger rows match")
+            return 0
+        for row in rows:
+            stamp = time.strftime("%Y-%m-%d %H:%M:%S",
+                                  time.localtime(row["ts"]))
+            what = (f"{row['scheme'] or '?'}/{row['matrix'] or '?'}"
+                    f"/k={row['k'] if row['k'] is not None else '?'}"
+                    f"@{row['scale'] or '?'}")
+            exp = f"  exp={row['experiment']}" if row["experiment"] else ""
+            print(f"{stamp}  {row['source']:<9} {what:<32} "
+                  f"{row['elapsed']:>7.2f}s  {row['worker']}"
+                  f"{exp}  {row['digest'][:10]}")
+        print(f"({len(rows)} row(s))")
+        return 0
+
+    # gc
+    removed = store.gc(older_than_days=args.days,
+                       include_ledger=args.ledger, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    parts = [f"{n} {table} row(s)" for table, n in removed.items()]
+    print(f"{verb} {', '.join(parts)} older than {args.days:g} day(s)")
+    if not args.ledger:
+        print("(run ledger kept; pass --ledger to prune it too)")
     return 0
 
 
@@ -579,6 +743,9 @@ def _main(argv=None) -> int:
     if args.command == "jobs":
         return _jobs_main(args)
 
+    if args.command == "store":
+        return _store_main(args)
+
     from repro.parallel import configure_engine
 
     engine = configure_engine(jobs=args.jobs, cache_dir=args.cache_dir,
@@ -587,6 +754,7 @@ def _main(argv=None) -> int:
     if args.command == "report":
         from repro.experiments.report import generate_report
 
+        engine.context["experiment"] = "report"
         text = generate_report(
             scale=args.scale,
             experiments=args.only,
@@ -603,6 +771,7 @@ def _main(argv=None) -> int:
     )
     for exp_id in targets:
         t0 = time.time()
+        engine.context["experiment"] = exp_id
         try:
             table = _run_with_scale(exp_id, args.scale)
         except KeyError as exc:

@@ -21,7 +21,11 @@ configures the process-global default engine; library callers that do
 nothing get the historical behavior (serial, uncached).
 """
 
-from repro.parallel.cache import ResultCache, default_cache_dir
+from repro.parallel.cache import (
+    ENV_STORE_DSN,
+    ResultCache,
+    default_cache_dir,
+)
 from repro.parallel.engine import (
     EngineStats,
     ExecutionEngine,
@@ -37,6 +41,7 @@ from repro.parallel.jobs import CODE_SALT, SimJob, execute_job
 
 __all__ = [
     "CODE_SALT",
+    "ENV_STORE_DSN",
     "EngineStats",
     "ExecutionEngine",
     "JobHandle",

@@ -1,4 +1,4 @@
-"""Content-addressed on-disk cache for simulation results.
+"""Content-addressed result cache: filesystem tier + optional store tier.
 
 Entries are pickled :class:`~repro.results.CommResult` records stored
 under ``<root>/<digest[:2]>/<digest>.pkl``, keyed by the owning
@@ -6,6 +6,17 @@ under ``<root>/<digest[:2]>/<digest>.pkl``, keyed by the owning
 folds in a code-version salt).  Each entry carries the wall-clock
 seconds the original computation took, so ``netsparse cache info`` can
 report how much simulation time the cache is holding.
+
+When ``REPRO_STORE_DSN`` is set (or a :class:`~repro.store.Store` is
+passed explicitly) the cache grows a second, shared tier: misses fall
+through to the store, hits are backfilled into the local filesystem,
+and every ``put`` also writes a provenance-stamped row to the store —
+so several processes (or service replicas on different machines)
+pointed at one store share one cache.  The store payload travels
+through the service's bit-exact ``__nd__`` codec, so a store hit is
+bitwise identical to a filesystem hit and to recomputation.  Store
+failures degrade to the filesystem tier (counted under
+``store.errors``), never break a simulation.
 """
 
 from __future__ import annotations
@@ -18,11 +29,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, Optional
 
+from repro import telemetry
+
 __all__ = ["CacheEntry", "CacheInfo", "ResultCache", "default_cache_dir",
-           "ENV_CACHE_DIR"]
+           "ENV_CACHE_DIR", "ENV_STORE_DSN"]
 
 #: Environment override for the default cache location.
 ENV_CACHE_DIR = "NETSPARSE_CACHE_DIR"
+
+#: Environment opt-in for the shared store tier.  The literal is
+#: duplicated from :mod:`repro.store.backend` so the common case (no
+#: store) never imports the store package; a test pins them equal.
+ENV_STORE_DSN = "REPRO_STORE_DSN"
 
 _ENTRY_FORMAT = 1
 
@@ -58,6 +76,12 @@ class CacheInfo:
     total_bytes: int = 0
     sim_seconds: float = 0.0
     by_scheme: Dict[str, int] = field(default_factory=dict)
+    #: Orphaned ``*.tmp`` staging files stranded by crashed writers
+    #: (``clear`` reclaims them).
+    tmp_files: int = 0
+    tmp_bytes: int = 0
+    #: ``Store.describe()`` of the active store tier, or ``None``.
+    store: Optional[dict] = None
 
     def format(self) -> str:
         lines = [
@@ -66,21 +90,87 @@ class CacheInfo:
             f"size         : {self.total_bytes / 1e6:.2f} MB",
             f"sim time held: {self.sim_seconds:.1f}s of simulation",
         ]
+        if self.tmp_files:
+            lines.append(
+                f"stranded tmp : {self.tmp_files} files "
+                f"({self.tmp_bytes / 1e6:.2f} MB; `cache clear` reclaims)")
         for scheme in sorted(self.by_scheme):
             lines.append(f"  {scheme:<10} {self.by_scheme[scheme]} entries")
+        if self.store is not None:
+            lines.append(
+                f"store        : {self.store.get('backend', '?')} "
+                f"({self.store.get('dsn', '?')})")
+            lines.append(
+                f"  schema v{self.store.get('schema_version', '?')}  "
+                f"results={self.store.get('results', 0)}  "
+                f"artifacts={self.store.get('artifacts', 0)}  "
+                f"ledger={self.store.get('ledger', 0)} rows")
         return "\n".join(lines)
 
 
 class ResultCache:
-    """Content-addressed pickle store; corrupt entries read as misses."""
+    """Content-addressed pickle store; corrupt entries read as misses.
 
-    def __init__(self, root=None):
+    ``store`` adds the shared database tier explicitly; by default it
+    is resolved lazily from ``$REPRO_STORE_DSN`` on first use (``None``
+    when unset — the zero-config path stays pure-filesystem and never
+    imports :mod:`repro.store`).
+    """
+
+    def __init__(self, root=None, store=None):
         self.root = Path(root).expanduser() if root else default_cache_dir()
+        self._store = store
+        self._store_resolved = store is not None
+
+    # -- store tier ----------------------------------------------------
+
+    @property
+    def store(self):
+        """The shared store tier, or ``None``.  A store that fails to
+        open is disabled for the cache's lifetime (one failure, not one
+        per job) and counted under ``store.errors``."""
+        if not self._store_resolved:
+            self._store_resolved = True
+            dsn = os.environ.get(ENV_STORE_DSN)
+            if dsn:
+                try:
+                    from repro.store import open_store
+
+                    self._store = open_store(dsn)
+                except Exception:
+                    telemetry.count("store.errors", op="open")
+                    self._store = None
+        return self._store
 
     def _path(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.pkl"
 
     def get(self, digest: str) -> Optional[CacheEntry]:
+        entry = self._get_local(digest)
+        if entry is not None:
+            return entry
+        store = self.store
+        if store is None:
+            return None
+        try:
+            rec = store.get_result(digest)
+        except Exception:
+            telemetry.count("store.errors", op="get")
+            return None
+        if rec is None:
+            return None
+        entry = CacheEntry(digest=digest, meta=rec.meta, elapsed=rec.elapsed,
+                           created=rec.created, result=rec.result)
+        # Backfill the filesystem tier so the next hit is file-speed.
+        try:
+            self._put_local(digest, rec.result, meta=rec.meta,
+                            elapsed=rec.elapsed, created=rec.created)
+            telemetry.count("store.cache.backfills")
+        except Exception:
+            telemetry.count("store.errors", op="backfill")
+        return entry
+
+    def _get_local(self, digest: str) -> Optional[CacheEntry]:
         path = self._path(digest)
         try:
             with open(path, "rb") as fh:
@@ -105,13 +195,24 @@ class ResultCache:
             return None
 
     def put(self, digest: str, result, *, meta: dict, elapsed: float) -> None:
+        self._put_local(digest, result, meta=meta, elapsed=elapsed)
+        store = self.store
+        if store is not None:
+            try:
+                store.put_result(digest, result, meta=meta, elapsed=elapsed)
+            except Exception:
+                # The shared tier must never fail a computed job.
+                telemetry.count("store.errors", op="put")
+
+    def _put_local(self, digest: str, result, *, meta: dict, elapsed: float,
+                   created: Optional[float] = None) -> None:
         path = self._path(digest)
         payload = {
             "format": _ENTRY_FORMAT,
             "digest": digest,
             "meta": meta,
             "elapsed": float(elapsed),
-            "created": time.time(),
+            "created": time.time() if created is None else float(created),
             "result": result,
         }
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
@@ -157,17 +258,25 @@ class ResultCache:
             return
         yield from sorted(self.root.glob("*/*.pkl"))
 
+    def _tmp_files(self) -> Iterator[Path]:
+        """Staging files a crashed ``put`` can strand (the process died
+        between ``mkstemp`` and ``os.replace``, or ``_unlink_quiet``
+        itself lost a race) — dead bytes until ``clear`` reclaims them."""
+        if not self.root.is_dir():
+            return
+        yield from sorted(self.root.glob("*/*.tmp"))
+
     def iter_entries(self) -> Iterator[CacheEntry]:
         """Entry metadata (results included) for every readable file."""
         for path in self._entry_files():
-            entry = self.get(path.stem)
+            entry = self._get_local(path.stem)
             if entry is not None:
                 yield entry
 
     def info(self) -> CacheInfo:
         info = CacheInfo(root=self.root)
         for path in self._entry_files():
-            entry = self.get(path.stem)
+            entry = self._get_local(path.stem)
             if entry is None:
                 continue
             try:
@@ -179,14 +288,29 @@ class ResultCache:
             info.sim_seconds += entry.elapsed
             scheme = entry.meta.get("scheme", "?")
             info.by_scheme[scheme] = info.by_scheme.get(scheme, 0) + 1
+        for tmp in self._tmp_files():
+            try:
+                size = tmp.stat().st_size
+            except OSError:
+                continue
+            info.tmp_files += 1
+            info.tmp_bytes += size
+        store = self.store
+        if store is not None:
+            try:
+                info.store = store.describe()
+            except Exception:
+                telemetry.count("store.errors", op="describe")
         return info
 
     def clear(self) -> int:
         """Delete every entry; returns how many files were removed.
 
-        Also sweeps orphaned ``*.tmp`` staging files (crashed writers).
-        Safe to run while other processes are reading and writing: their
-        in-progress ``put`` calls retry, their ``get`` calls miss."""
+        Orphaned ``*.tmp`` staging files (crashed writers) are swept
+        and counted too.  Safe to run while other processes are reading
+        and writing: their in-progress ``put`` calls retry, their
+        ``get`` calls miss.  The shared store tier is *not* touched —
+        that is ``netsparse store gc``'s explicit job."""
         removed = 0
         for path in self._entry_files():
             try:
@@ -194,10 +318,10 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
-        if self.root.is_dir():
-            for tmp in self.root.glob("*/*.tmp"):
-                try:
-                    tmp.unlink()
-                except OSError:
-                    pass
+        for tmp in self._tmp_files():
+            try:
+                tmp.unlink()
+                removed += 1
+            except OSError:
+                pass
         return removed

@@ -121,6 +121,9 @@ class ExecutionEngine:
     def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None):
         self.jobs = max(int(jobs), 1)
         self.cache = cache
+        #: Ambient attribution for the run ledger (``experiment`` is the
+        #: CLI's experiment id; the service stamps its replica identity).
+        self.context: Dict[str, str] = {}
         self.stats = EngineStats()
         self._memo: Dict[str, object] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -138,6 +141,7 @@ class ExecutionEngine:
         jobs = list(jobs)
         digests = [job.digest() for job in jobs]
         pending: Dict[str, SimJob] = {}
+        answered: List = []            # (job, digest, source) for the ledger
         with self._lock:
             for digest, job in zip(digests, jobs):
                 self.stats.jobs += 1
@@ -145,6 +149,7 @@ class ExecutionEngine:
                 if digest in self._memo or digest in pending:
                     self.stats.memo_hits += 1
                     telemetry.count("engine.memo_hits")
+                    answered.append((job, digest, "memo"))
                     continue
                 entry = self.cache.get(digest) if self.cache else None
                 if entry is not None:
@@ -152,12 +157,36 @@ class ExecutionEngine:
                     self.stats.cache_hits += 1
                     self.stats.saved_seconds += entry.elapsed
                     telemetry.count("engine.cache_hits")
+                    answered.append((job, digest, "cache"))
                 else:
                     pending[digest] = job
+        for job, digest, source in answered:
+            self._record_run(job, digest, source)
         if pending:
             self._execute(pending)
         with self._lock:
             return [self._memo[digest] for digest in digests]
+
+    # -- run ledger ----------------------------------------------------
+
+    def _store(self):
+        """The cache's shared store tier, or ``None``."""
+        return self.cache.store if self.cache is not None else None
+
+    def _record_run(self, job: SimJob, digest: str, source: str,
+                    elapsed: float = 0.0) -> None:
+        """Append one row to the store's run ledger (best-effort: the
+        ledger is an audit trail, never a point of failure)."""
+        store = self._store()
+        if store is None:
+            return
+        try:
+            store.record_run(digest, source=source, elapsed=elapsed,
+                             worker=self.context.get("worker"),
+                             meta=job.describe(),
+                             experiment=self.context.get("experiment"))
+        except Exception:
+            telemetry.count("store.errors", op="ledger")
 
     # -- async bridge ---------------------------------------------------
 
@@ -186,6 +215,7 @@ class ExecutionEngine:
             if digest in self._memo:
                 self.stats.memo_hits += 1
                 telemetry.count("engine.memo_hits")
+                self._record_run(job, digest, "memo")
                 fut: Future = Future()
                 fut.set_result(self._memo[digest])
                 return JobHandle(digest=digest, future=fut, source="memo")
@@ -194,6 +224,7 @@ class ExecutionEngine:
                 self.stats.memo_hits += 1
                 telemetry.count("engine.memo_hits")
                 telemetry.count("engine.inflight_hits")
+                self._record_run(job, digest, "inflight")
                 return JobHandle(digest=digest, future=shared.future,
                                  source="inflight")
             entry = self.cache.get(digest) if self.cache else None
@@ -202,6 +233,7 @@ class ExecutionEngine:
                 self.stats.cache_hits += 1
                 self.stats.saved_seconds += entry.elapsed
                 telemetry.count("engine.cache_hits")
+                self._record_run(job, digest, "cache")
                 fut = Future()
                 fut.set_result(entry.result)
                 return JobHandle(digest=digest, future=fut, source="cache")
@@ -242,6 +274,7 @@ class ExecutionEngine:
                     except Exception:
                         # A full disk must not fail a computed job.
                         telemetry.count("engine.cache_put_errors")
+                self._record_run(job, digest, "executed", elapsed=elapsed)
                 outer.set_result(result)
 
             inner = self._ensure_bridge().submit(_task)
@@ -252,9 +285,11 @@ class ExecutionEngine:
     def describe(self) -> dict:
         """Engine topology + stats, JSON-ready (service ``/v1/stats``)."""
         with self._lock:
+            store = self._store()
             return {
                 "workers": self.jobs,
                 "cache_dir": str(self.cache.root) if self.cache else None,
+                "store_dsn": store.dsn if store is not None else None,
                 "inflight": len(self._inflight),
                 "closed": self._closed,
                 "stats": self.stats.as_dict(),
@@ -286,6 +321,7 @@ class ExecutionEngine:
             if self.cache is not None:
                 self.cache.put(digest, result, meta=job.describe(),
                                elapsed=elapsed)
+            self._record_run(job, digest, "executed", elapsed=elapsed)
 
     @staticmethod
     def _prewarm_traces(jobs: Sequence[SimJob]) -> None:

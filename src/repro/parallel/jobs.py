@@ -114,14 +114,25 @@ class SimJob:
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def describe(self) -> dict:
-        """Small human-readable metadata stored next to cached results."""
+        """Small human-readable metadata stored next to cached results.
+
+        ``faults_digest`` carries the fault plan's content hash so the
+        store tier can stamp it into every result row's provenance
+        without re-parsing the plan JSON."""
         return {
             "scheme": self.scheme,
             "matrix": self.matrix,
             "k": self.k,
             "scale_name": self.scale_name,
             "seed": self.seed,
+            "faults_digest": self.faults_digest(),
         }
+
+    def faults_digest(self) -> Optional[str]:
+        """Content hash of the attached fault plan, or ``None``."""
+        if self.faults is None:
+            return None
+        return hashlib.sha256(self.faults.encode("utf-8")).hexdigest()
 
 
 #: Process-level fabric memo.  A topology is immutable during

@@ -46,6 +46,8 @@ __all__ = [
     "config_from_overrides",
     "encode_result",
     "decode_result",
+    "encode_value",
+    "decode_value",
     "dumps",
     "loads",
 ]
@@ -324,6 +326,24 @@ def _unjsonify(obj: Any) -> Any:
     if isinstance(obj, list):
         return [_unjsonify(v) for v in obj]
     return obj
+
+
+def encode_value(obj: Any) -> Any:
+    """JSON-ready deep copy of an arbitrary value.
+
+    The public face of the ``__nd__`` codec for payloads that are not
+    whole :class:`CommResult` records — numpy arrays become typed
+    ``__nd__`` nodes, numpy scalars their Python equivalents, opaque
+    extras their ``repr``.  :func:`decode_value` inverts it
+    bit-exactly for the array/scalar cases.  The store uses this pair
+    for artifact and provenance metadata.
+    """
+    return _jsonify(obj)
+
+
+def decode_value(obj: Any) -> Any:
+    """Invert :func:`encode_value` (rebuilds ``__nd__`` arrays)."""
+    return _unjsonify(obj)
 
 
 def encode_result(res: CommResult) -> Dict[str, Any]:

@@ -186,6 +186,13 @@ class JobServer:
         self._server = await asyncio.start_server(
             self._handle_conn, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        # Replica identity for the shared run ledger: two `netsparse
+        # serve` replicas pointed at one store are distinguishable by
+        # their bind address even when they share a host.
+        import os as _os
+
+        self.engine.context.setdefault(
+            "worker", f"service:{self.host}:{self.port}:{_os.getpid()}")
         return self
 
     @property
@@ -245,6 +252,18 @@ class JobServer:
         if live is not None:
             live.coalesced_count += 1
             self.registry.count("service.coalesced")
+            # Server-level coalescing never reaches the engine, so the
+            # run ledger would miss these submissions entirely; record
+            # them here with their own source attribution.
+            store = self.engine._store()
+            if store is not None:
+                try:
+                    store.record_run(
+                        digest, source="coalesced",
+                        worker=self.engine.context.get("worker"),
+                        meta=job.describe())
+                except Exception:
+                    self.registry.count("store.errors", op="ledger")
             return live, True
         if self._inflight >= self.queue_limit:
             self.registry.count("service.rejected")
@@ -559,15 +578,24 @@ class JobServer:
     def _stats_payload(self) -> dict:
         snap = self.registry.snapshot()
 
-        def _section(d):
-            return {k: v for k, v in d.items() if k.startswith("service.")}
+        def _section(d, prefix):
+            return {k: v for k, v in d.items() if k.startswith(prefix)}
 
+        store = self.engine._store()
+        try:
+            store_info = store.describe() if store is not None else None
+        except Exception:
+            store_info = None
         return {
             "service": {
-                "counters": _section(snap["counters"]),
-                "gauges": _section(snap["gauges"]),
-                "histograms": _section(snap["histograms"]),
+                "counters": _section(snap["counters"], "service."),
+                "gauges": _section(snap["gauges"], "service."),
+                "histograms": _section(snap["histograms"], "service."),
             },
+            "store": {
+                "info": store_info,
+                "counters": _section(snap["counters"], "store."),
+            } if store is not None else None,
             "engine": self.engine.describe(),
             "jobs": {"total": len(self._jobs),
                      "inflight": self._inflight,

@@ -1,0 +1,64 @@
+"""Pluggable result/artifact store with provenance and a run ledger.
+
+The filesystem :class:`~repro.parallel.cache.ResultCache` answers one
+process on one machine; this package is the shared tier behind it —
+a database-backed store (SQLite by default, DSN-selectable and
+Postgres-ready) holding:
+
+- **results**: one provenance-stamped row per ``SimJob`` digest (job
+  digest, ``CODE_SALT``, faults-plan digest, kernel tier, git sha,
+  schema version, timestamps), with bit-identical ``CommResult``
+  round-trips through the service ``__nd__`` codec;
+- **artifacts**: content-addressed blobs (bench snapshots, reports)
+  deduped by SHA-256;
+- **ledger**: an append-only record of every engine answer with
+  source attribution — the queryable history behind
+  ``netsparse store history``.
+
+Opt in by setting ``REPRO_STORE_DSN``::
+
+    REPRO_STORE_DSN=sqlite:////var/lib/netsparse/store.sqlite3 \\
+        netsparse serve --jobs 4
+
+Two service replicas pointed at one store coalesce duplicate
+submissions across processes: the first executes and writes the row,
+the second answers from the store.  Migrations are idempotent
+(``netsparse store migrate`` twice is a no-op) and run automatically
+on open.
+"""
+
+from repro.store.backend import (
+    ENV_STORE_DSN,
+    ParsedDSN,
+    PostgresBackend,
+    SQLiteBackend,
+    StoreError,
+    StoreUnavailableError,
+    backend_for_dsn,
+    parse_dsn,
+)
+from repro.store.migrations import MIGRATIONS, SCHEMA_VERSION, run_migrations
+from repro.store.provenance import git_sha, kernel_tier, provenance, worker_id
+from repro.store.store import Store, StoredResult, open_store, store_from_env
+
+__all__ = [
+    "ENV_STORE_DSN",
+    "MIGRATIONS",
+    "SCHEMA_VERSION",
+    "ParsedDSN",
+    "PostgresBackend",
+    "SQLiteBackend",
+    "Store",
+    "StoreError",
+    "StoreUnavailableError",
+    "StoredResult",
+    "backend_for_dsn",
+    "git_sha",
+    "kernel_tier",
+    "open_store",
+    "parse_dsn",
+    "provenance",
+    "run_migrations",
+    "store_from_env",
+    "worker_id",
+]

@@ -1,0 +1,328 @@
+"""Storage backends: DSN parsing + per-backend connection factories.
+
+The store speaks to exactly one of two backends, selected by DSN:
+
+- ``SQLiteBackend`` — the zero-config default.  ``sqlite:///path/to.db``
+  (or a bare filesystem path) opens a WAL-mode database with a busy
+  timeout, so several processes — service replicas, CLI tools, CI jobs
+  — can share one store file safely.  ``sqlite:///:memory:`` keeps
+  everything on a single shared connection (tests).
+- ``PostgresBackend`` — DSN ``postgres://`` / ``postgresql://``.  The
+  SQL templates the migration runner and :class:`~repro.store.Store`
+  emit are written against a dialect shim (``{AUTOPK}``, ``{BLOB}``,
+  ``{OR_IGNORE}``/``{ON_CONFLICT}``, placeholder style), so the same
+  schema and queries render for either backend.  Connecting requires a
+  ``psycopg`` module; the container does not ship one, so the backend
+  *parses* and *renders* everywhere but raises
+  :class:`StoreUnavailableError` at connect time when the driver is
+  absent — the Postgres surface is an interface contract, not a baked
+  dependency.
+
+Both backends expose the same tiny surface: ``connect()`` (a DB-API
+connection appropriate to the calling thread), ``sql()`` (dialect
+rendering), and ``transaction()``.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "ENV_STORE_DSN",
+    "StoreError",
+    "StoreUnavailableError",
+    "ParsedDSN",
+    "parse_dsn",
+    "SQLiteBackend",
+    "PostgresBackend",
+    "backend_for_dsn",
+]
+
+#: Environment opt-in: set to a DSN to route the result cache, the run
+#: ledger, and bench artifacts through a shared store.
+ENV_STORE_DSN = "REPRO_STORE_DSN"
+
+#: How long a writer waits on a locked SQLite database before erroring.
+SQLITE_BUSY_TIMEOUT_MS = 10_000
+
+
+class StoreError(RuntimeError):
+    """Any store-layer failure the caller may want to degrade around."""
+
+
+class StoreUnavailableError(StoreError):
+    """The DSN names a backend whose driver is not installed."""
+
+
+@dataclass(frozen=True)
+class ParsedDSN:
+    """A DSN broken into backend kind + backend-specific locator."""
+
+    backend: str        # "sqlite" | "postgres"
+    location: str       # filesystem path, ":memory:", or pg DSN
+    raw: str
+
+    @property
+    def memory(self) -> bool:
+        return self.backend == "sqlite" and self.location == ":memory:"
+
+
+def parse_dsn(dsn: str) -> ParsedDSN:
+    """Classify a DSN.
+
+    Accepted spellings::
+
+        sqlite:////abs/path.db      sqlite:///rel/path.db
+        sqlite:///:memory:          :memory:
+        /abs/path.db                rel/path.db      (bare paths)
+        postgres://user@host/db     postgresql://...
+    """
+    if not dsn or not str(dsn).strip():
+        raise StoreError("empty store DSN")
+    dsn = str(dsn).strip()
+    lowered = dsn.lower()
+    if lowered.startswith(("postgres://", "postgresql://")):
+        return ParsedDSN(backend="postgres", location=dsn, raw=dsn)
+    if lowered.startswith("sqlite:"):
+        rest = dsn.split(":", 1)[1].lstrip("/")
+        # sqlite:////abs/x -> /abs/x ; sqlite:///x -> x (relative)
+        if dsn.lower().startswith("sqlite:////"):
+            rest = "/" + rest
+        if rest in (":memory:", ""):
+            return ParsedDSN(backend="sqlite", location=":memory:", raw=dsn)
+        return ParsedDSN(backend="sqlite",
+                         location=str(Path(rest).expanduser()), raw=dsn)
+    if dsn == ":memory:":
+        return ParsedDSN(backend="sqlite", location=":memory:", raw=dsn)
+    if "://" in dsn:
+        raise StoreError(f"unsupported store DSN scheme: {dsn!r}")
+    return ParsedDSN(backend="sqlite",
+                     location=str(Path(dsn).expanduser()), raw=dsn)
+
+
+class SQLiteBackend:
+    """WAL-mode SQLite with one connection per thread.
+
+    File databases hand every thread its own connection (SQLite
+    connections are not thread-safe under concurrent use) with WAL +
+    busy-timeout pragmas, so independent processes sharing the store
+    file serialize on the page level, not at the API.  ``:memory:``
+    databases are per-connection in SQLite, so those fall back to one
+    shared connection guarded by a lock.
+    """
+
+    name = "sqlite"
+    placeholder = "?"
+
+    _DIALECT = {
+        "{AUTOPK}": "INTEGER PRIMARY KEY AUTOINCREMENT",
+        "{BLOB}": "BLOB",
+        "{OR_IGNORE}": "OR IGNORE",
+        "{ON_CONFLICT}": "",
+    }
+
+    def __init__(self, location: str):
+        self.location = location
+        self._local = threading.local()
+        self._memory = location == ":memory:"
+        self._shared: sqlite3.Connection | None = None
+        self._lock = threading.RLock()
+
+    # -- connections ---------------------------------------------------
+
+    def _new_conn(self) -> sqlite3.Connection:
+        if not self._memory:
+            Path(self.location).expanduser().parent.mkdir(
+                parents=True, exist_ok=True)
+        conn = sqlite3.connect(
+            self.location,
+            timeout=SQLITE_BUSY_TIMEOUT_MS / 1000.0,
+            isolation_level=None,            # autocommit; explicit BEGIN
+            check_same_thread=False,
+        )
+        conn.row_factory = sqlite3.Row
+        cur = conn.cursor()
+        cur.execute(f"PRAGMA busy_timeout={SQLITE_BUSY_TIMEOUT_MS}")
+        if not self._memory:
+            cur.execute("PRAGMA journal_mode=WAL")
+            cur.execute("PRAGMA synchronous=NORMAL")
+        cur.close()
+        return conn
+
+    def connect(self) -> sqlite3.Connection:
+        if self._memory:
+            with self._lock:
+                if self._shared is None:
+                    self._shared = self._new_conn()
+                return self._shared
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = self._new_conn()
+            self._local.conn = conn
+        return conn
+
+    @contextmanager
+    def transaction(self):
+        """One write transaction; serialized for shared connections."""
+        conn = self.connect()
+        with self._lock if self._memory else _null_lock():
+            cur = conn.cursor()
+            try:
+                cur.execute("BEGIN IMMEDIATE")
+                yield cur
+                conn.commit()
+            except BaseException:
+                conn.rollback()
+                raise
+            finally:
+                cur.close()
+
+    @contextmanager
+    def reading(self):
+        """A read cursor (shared-connection databases still lock)."""
+        conn = self.connect()
+        with self._lock if self._memory else _null_lock():
+            cur = conn.cursor()
+            try:
+                yield cur
+            finally:
+                cur.close()
+
+    # -- dialect -------------------------------------------------------
+
+    def sql(self, template: str) -> str:
+        out = template
+        for token, concrete in self._DIALECT.items():
+            out = out.replace(token, concrete)
+        return out
+
+    def describe(self) -> dict:
+        info = {"backend": self.name, "location": self.location}
+        if not self._memory:
+            try:
+                info["size_bytes"] = os.path.getsize(self.location)
+            except OSError:
+                info["size_bytes"] = 0
+        return info
+
+    def close(self) -> None:
+        with self._lock:
+            if self._shared is not None:
+                self._shared.close()
+                self._shared = None
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    def vacuum(self) -> None:
+        if not self._memory:
+            self.connect().execute("VACUUM")
+
+
+@contextmanager
+def _null_lock():
+    yield
+
+
+class PostgresBackend:
+    """Postgres rendering + (driver-gated) connections.
+
+    The dialect shim renders every template the store and the
+    migration runner use, so the schema is provably expressible on
+    Postgres; actually connecting needs a ``psycopg`` (v3) or
+    ``psycopg2`` module at runtime, which this environment does not
+    ship — :meth:`connect` degrades to a clear
+    :class:`StoreUnavailableError` instead of an import crash.
+    """
+
+    name = "postgres"
+    placeholder = "%s"
+
+    _DIALECT = {
+        "{AUTOPK}": "BIGSERIAL PRIMARY KEY",
+        "{BLOB}": "BYTEA",
+        "{OR_IGNORE}": "",
+        "{ON_CONFLICT}": "ON CONFLICT DO NOTHING",
+    }
+
+    def __init__(self, location: str):
+        self.location = location
+        self._lock = threading.RLock()
+        self._local = threading.local()
+
+    @staticmethod
+    def _driver():
+        for mod in ("psycopg", "psycopg2"):
+            try:
+                return __import__(mod)
+            except ImportError:
+                continue
+        return None
+
+    def connect(self):
+        driver = self._driver()
+        if driver is None:
+            raise StoreUnavailableError(
+                "postgres DSN given but neither psycopg nor psycopg2 is "
+                "installed; install one or use a sqlite:// DSN")
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = driver.connect(self.location)
+            self._local.conn = conn
+        return conn
+
+    @contextmanager
+    def transaction(self):
+        conn = self.connect()
+        cur = conn.cursor()
+        try:
+            yield cur
+            conn.commit()
+        except BaseException:
+            conn.rollback()
+            raise
+        finally:
+            cur.close()
+
+    @contextmanager
+    def reading(self):
+        cur = self.connect().cursor()
+        try:
+            yield cur
+        finally:
+            cur.close()
+
+    def sql(self, template: str) -> str:
+        out = template
+        for token, concrete in self._DIALECT.items():
+            out = out.replace(token, concrete)
+        out = out.replace("?", self.placeholder)
+        # Collapse doubled spaces left by empty token substitutions.
+        return " ".join(out.split())
+
+    def describe(self) -> dict:
+        return {"backend": self.name, "location": self.location}
+
+    def close(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    def vacuum(self) -> None:  # pragma: no cover - needs a live server
+        pass
+
+
+def backend_for_dsn(dsn: str):
+    """The connection factory for a DSN (connecting may still be gated
+    on the backend's driver — see :class:`PostgresBackend`)."""
+    parsed = parse_dsn(dsn)
+    if parsed.backend == "postgres":
+        return PostgresBackend(parsed.location)
+    return SQLiteBackend(parsed.location)

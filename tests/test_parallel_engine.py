@@ -254,7 +254,7 @@ class TestCli:
         out = capsys.readouterr().out
         assert "entries      : 1" in out
         assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
-        assert "removed 1 cached results" in capsys.readouterr().out
+        assert "removed 1 cached files" in capsys.readouterr().out
         assert ResultCache(tmp_path).info().n_entries == 0
 
     def test_unknown_experiment_fails(self, tmp_path, capsys):

@@ -1,0 +1,313 @@
+"""Integration tests: store-backed ResultCache, engine ledger
+attribution, cross-process convergence, and cross-replica coalescing.
+
+The store package's own unit tests live in ``test_store.py``; this
+file proves the wiring *behind* existing surfaces — ``ResultCache``,
+``ExecutionEngine``, the job service — behaves identically with and
+without the shared tier.
+"""
+
+import multiprocessing
+import os
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.config import NetSparseConfig
+from repro.parallel import ExecutionEngine, ResultCache, SimJob
+from repro.results import CommResult
+from repro.store import open_store
+
+MAT, K = "arabic", 4
+
+
+def make_job(**overrides):
+    base = dict(scheme="netsparse", matrix=MAT, k=K,
+                config=NetSparseConfig(), scale_name="tiny")
+    base.update(overrides)
+    return SimJob(**base)
+
+
+def make_result(seed=0):
+    rng = np.random.default_rng(seed)
+    return CommResult(
+        scheme="netsparse", matrix_name=MAT, k=K, n_nodes=8,
+        total_time=rng.random() * 1e-3,
+        per_node_time=rng.random(8),
+        recv_wire_bytes=rng.integers(0, 1 << 40, 8),
+        sent_wire_bytes=rng.integers(0, 1 << 40, 8),
+        useful_payload_bytes=rng.integers(0, 1 << 40, 8),
+        link_bandwidth=12.5e9,
+        extras={"arr": rng.random(16).astype(np.float32)},
+    )
+
+
+@pytest.fixture
+def dsn(tmp_path):
+    return f"sqlite:///{tmp_path}/store.sqlite3"
+
+
+# -- store-backed ResultCache -------------------------------------------
+
+
+def test_store_tier_bit_identical_to_filesystem(tmp_path, dsn):
+    digest = "d" * 64
+    res = make_result()
+    store = open_store(dsn)
+
+    fs_only = ResultCache(tmp_path / "fs")
+    fs_only.put(digest, res, meta={"scheme": "netsparse"}, elapsed=1.0)
+    via_fs = fs_only.get(digest).result
+
+    writer = ResultCache(tmp_path / "w", store=store)
+    writer.put(digest, res, meta={"scheme": "netsparse"}, elapsed=1.0)
+    # A different machine: empty filesystem tier, same store.
+    reader = ResultCache(tmp_path / "r", store=store)
+    entry = reader.get(digest)
+    via_store = entry.result
+
+    for got in (via_fs, via_store):
+        assert got.total_time == res.total_time       # exact, not approx
+        assert got.per_node_time.tobytes() == res.per_node_time.tobytes()
+        assert got.per_node_time.dtype == res.per_node_time.dtype
+        arr = got.extras["arr"]
+        assert arr.dtype == np.float32
+        assert arr.tobytes() == res.extras["arr"].tobytes()
+
+
+def test_store_hit_backfills_filesystem(tmp_path, dsn):
+    digest = "d" * 64
+    store = open_store(dsn)
+    store.put_result(digest, make_result(), meta={}, elapsed=2.5)
+    cache = ResultCache(tmp_path / "fs", store=store)
+    assert cache.get(digest) is not None
+    # Second read must be served locally (no store needed at all).
+    assert cache._get_local(digest) is not None
+    assert cache._get_local(digest).elapsed == 2.5
+
+
+def test_env_opt_in(tmp_path, dsn, monkeypatch):
+    monkeypatch.delenv("REPRO_STORE_DSN", raising=False)
+    assert ResultCache(tmp_path / "a").store is None
+    monkeypatch.setenv("REPRO_STORE_DSN", dsn)
+    cache = ResultCache(tmp_path / "b")
+    assert cache.store is not None
+    assert cache.store.schema_version() >= 1
+    assert cache.info().store is not None
+
+
+def test_bad_dsn_degrades_to_filesystem(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE_DSN", "postgres://nobody@nowhere/db")
+    cache = ResultCache(tmp_path / "fs")
+    assert cache.store is None              # gated driver -> disabled
+    digest = "d" * 64
+    cache.put(digest, make_result(), meta={}, elapsed=0.1)
+    assert cache.get(digest) is not None    # filesystem tier unaffected
+
+
+def test_wal_mode_and_busy_timeout(dsn):
+    store = open_store(dsn)
+    conn = store.backend.connect()
+    assert conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+    assert conn.execute("PRAGMA busy_timeout").fetchone()[0] == 10_000
+
+
+# -- satellite: stranded *.tmp accounting --------------------------------
+
+
+def test_info_counts_and_clear_reclaims_stranded_tmp(tmp_path):
+    cache = ResultCache(tmp_path / "fs")
+    digest = "d" * 64
+    cache.put(digest, {"x": 1}, meta={}, elapsed=0.0)
+    stray = cache._path(digest).parent / "stray0001.tmp"
+    stray.write_bytes(b"half-written entry")
+
+    info = cache.info()
+    assert info.n_entries == 1
+    assert info.tmp_files == 1
+    assert info.tmp_bytes == len(b"half-written entry")
+    assert "stranded tmp" in info.format()
+
+    assert cache.clear() == 2               # entry + stranded tmp
+    assert not stray.exists()
+    assert cache.info().tmp_files == 0
+
+
+# -- engine ledger attribution -------------------------------------------
+
+
+def test_engine_records_executed_then_memo_then_cache(tmp_path, dsn):
+    store = open_store(dsn)
+    job = make_job()
+    digest = job.digest()
+
+    eng_a = ExecutionEngine(jobs=1,
+                            cache=ResultCache(tmp_path / "a", store=store))
+    eng_a.context["experiment"] = "exp-a"
+    eng_a.run_jobs([job])          # miss everywhere -> executed
+    eng_a.run_jobs([job])          # in-process memo
+    eng_a.close()
+
+    eng_b = ExecutionEngine(jobs=1,
+                            cache=ResultCache(tmp_path / "b", store=store))
+    eng_b.run_jobs([job])          # local miss, store hit -> cache
+    assert eng_b.stats.executed == 0
+    eng_b.close()
+
+    sources = [r["source"] for r in store.history(digest=digest)]
+    assert sorted(sources) == ["cache", "executed", "memo"]
+    executed = store.history(digest=digest, source="executed")
+    assert len(executed) == 1
+    row = executed[0]
+    assert row["experiment"] == "exp-a"
+    assert row["scheme"] == "netsparse" and row["matrix"] == MAT
+    assert row["k"] == K and row["scale"] == "tiny"
+    assert row["elapsed"] > 0
+    assert row["worker"]
+
+
+def test_engine_describe_reports_store(tmp_path, dsn):
+    store = open_store(dsn)
+    eng = ExecutionEngine(jobs=1,
+                          cache=ResultCache(tmp_path / "c", store=store))
+    assert eng.describe()["store_dsn"] == dsn
+    eng.close()
+    no_store = ExecutionEngine(jobs=1, cache=ResultCache(tmp_path / "d"))
+    assert no_store.describe()["store_dsn"] is None
+    no_store.close()
+
+
+# -- cross-process convergence -------------------------------------------
+
+
+def _racing_put(dsn, barrier, marker, queue):
+    from repro.store import open_store as _open
+
+    store = _open(dsn)
+    barrier.wait(timeout=30)
+    inserted = store.put_result("e" * 64, {"winner": marker},
+                                meta={}, elapsed=float(marker))
+    queue.put((marker, inserted))
+
+
+def test_cross_process_race_converges_to_one_row(dsn):
+    open_store(dsn)                 # migrate before the race
+    ctx = multiprocessing.get_context("spawn")
+    barrier = ctx.Barrier(2)
+    queue = ctx.Queue()
+    procs = [ctx.Process(target=_racing_put,
+                         args=(dsn, barrier, i, queue)) for i in range(2)]
+    for p in procs:
+        p.start()
+    outcomes = [queue.get(timeout=60) for _ in procs]
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+
+    inserted = [m for m, ok in outcomes if ok]
+    assert len(inserted) == 1       # exactly one writer won
+    store = open_store(dsn)
+    assert store.counts()["results"] == 1
+    rec = store.get_result("e" * 64)
+    assert rec.result == {"winner": inserted[0]}
+    assert rec.elapsed == float(inserted[0])
+
+
+# -- cross-replica coalescing via the service ----------------------------
+
+
+def test_two_replicas_share_one_execution(tmp_path, dsn):
+    from repro.service import ServiceClient, serve_in_background
+
+    store = open_store(dsn)
+    req = {"scheme": "netsparse", "matrix": MAT, "k": K,
+           "scale_name": "tiny"}
+
+    eng_a = ExecutionEngine(jobs=1,
+                            cache=ResultCache(tmp_path / "a", store=store))
+    bg_a = serve_in_background(eng_a)
+    try:
+        ca = ServiceClient(bg_a.url, timeout=120)
+        first = ca.wait(ca.submit(req).job_id, timeout=120)
+    finally:
+        bg_a.stop()
+        eng_a.close()
+    assert eng_a.stats.executed == 1
+
+    # Replica restart: fresh engine, fresh filesystem cache, same store.
+    eng_b = ExecutionEngine(jobs=1,
+                            cache=ResultCache(tmp_path / "b", store=store))
+    bg_b = serve_in_background(eng_b)
+    try:
+        cb = ServiceClient(bg_b.url, timeout=120)
+        sub = cb.submit(req)
+        second = cb.wait(sub.job_id, timeout=120)
+        status = cb.status(sub.job_id)
+    finally:
+        bg_b.stop()
+        eng_b.close()
+    assert eng_b.stats.executed == 0
+    assert status.source == "cache"
+
+    ra, rb = first.comm_result(), second.comm_result()
+    assert ra.total_time == rb.total_time
+    assert ra.per_node_time.tobytes() == rb.per_node_time.tobytes()
+
+    digest = make_job().digest()
+    executed = store.history(digest=digest, source="executed")
+    assert len(executed) == 1       # one execution, ever, across replicas
+    workers = {r["worker"] for r in store.history(digest=digest)}
+    assert any(w.startswith("service:") for w in workers)
+
+
+def test_service_stats_include_store_section(tmp_path, dsn):
+    from repro.service import ServiceClient, serve_in_background
+
+    store = open_store(dsn)
+    eng = ExecutionEngine(jobs=1,
+                          cache=ResultCache(tmp_path / "c", store=store))
+    bg = serve_in_background(eng)
+    try:
+        stats = ServiceClient(bg.url).stats()
+    finally:
+        bg.stop()
+        eng.close()
+    assert stats["store"] is not None
+    assert stats["store"]["info"]["backend"] == "sqlite"
+    assert stats["store"]["info"]["schema_version"] >= 1
+
+
+def _worker_env_roundtrip(dsn, queue):
+    # A pool worker's view: env opt-in only, no objects shared.
+    os.environ["REPRO_STORE_DSN"] = dsn
+    from repro.parallel.cache import ResultCache as RC
+
+    import tempfile
+
+    cache = RC(tempfile.mkdtemp())
+    entry = cache.get("f" * 64)
+    queue.put(entry.result if entry else None)
+
+
+def test_env_opt_in_crosses_process_boundary(dsn):
+    store = open_store(dsn)
+    store.put_result("f" * 64, {"seen": "cross-process"}, meta={})
+    ctx = multiprocessing.get_context("spawn")
+    queue = ctx.Queue()
+    proc = ctx.Process(target=_worker_env_roundtrip, args=(dsn, queue))
+    proc.start()
+    got = queue.get(timeout=60)
+    proc.join(timeout=60)
+    assert got == {"seen": "cross-process"}
+
+
+def test_sqlite_file_is_actually_shared(dsn, tmp_path):
+    # Belt and braces: a raw sqlite3 connection sees the rows the
+    # store API wrote (no hidden per-connection state).
+    store = open_store(dsn)
+    store.put_result("9" * 64, {"x": 1}, meta={})
+    path = store.backend.location
+    with sqlite3.connect(path) as conn:
+        n = conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+    assert n == 1
