@@ -1,0 +1,96 @@
+"""A/B benchmark for the batch planner: ``REPRO_BATCH`` off vs on.
+
+Each sweep-bound experiment row runs three legs at **tiny** scale — a
+warm-up (fills the suite/trace caches both modes share), a timed
+legacy leg (``REPRO_BATCH=0``: every job replays every stage) and a
+timed batch leg (planner + fused memos) — with the batch-mode memos
+reset and a fresh engine per leg, so the A/B isolates exactly the
+machinery this flag gates.  The tables must be bit-identical; the
+session's ``BENCH_<date>.json`` gains a ``batch`` block with per-row
+wall times, speedups and the fold ratio (jobs folded per reuse
+profile built).
+
+Tiny scale is deliberate: it is the planner's acceptance bar (the
+sweep structure, not the matrix size, is what batching folds) and it
+keeps the A/B cheap enough to run in every bench session regardless
+of ``REPRO_BENCH_SCALE``.
+"""
+
+import time
+
+import pytest
+from conftest import record_block
+
+from repro.cluster import batch_stats, reset_batch_state
+from repro.core.batchmode import use_batch
+from repro.experiments import run_experiment
+from repro.parallel import ExecutionEngine, engine_scope
+
+#: The sweep-bound rows: knob grids over shared traces, where the
+#: planner folds sweep points into single-pass groups.
+ROWS = ("fig15", "fig16", "fig17", "fig18", "autotune", "table8")
+
+#: Rows the acceptance bar draws from; at least MIN_FAST of them must
+#: halve their wall time.  fig18 (capacity sweep: one profile scores
+#: the whole grid) is the headline; fig17 and table8 provide margin.
+MIN_FAST = 2
+
+_BLOCK = {"scale": "tiny", "rows": {}}
+
+
+def _leg(exp_id, mode):
+    """One timed run: fresh memos, fresh engine, forced mode."""
+    reset_batch_state()
+    with use_batch(mode), engine_scope(ExecutionEngine()) as eng:
+        t0 = time.perf_counter()
+        table = run_experiment(exp_id, scale="tiny")
+        wall = time.perf_counter() - t0
+        stats = eng.stats
+    return table, wall, stats
+
+
+@pytest.mark.parametrize("exp_id", ROWS)
+def test_batch_ab(exp_id):
+    _leg(exp_id, True)                      # warm shared caches
+    legacy, wall_off, _ = _leg(exp_id, False)
+    batched, wall_on, eng_stats = _leg(exp_id, True)
+    profile = batch_stats()["profile"]
+
+    identical = (legacy.columns == batched.columns
+                 and legacy.rows == batched.rows)
+    assert identical, f"{exp_id}: batch mode changed the table"
+
+    built = int(profile["profiles_built"])
+    folded = int(eng_stats.batched)
+    row = {
+        "wall_off_s": round(wall_off, 4),
+        "wall_on_s": round(wall_on, 4),
+        "speedup": round(wall_off / wall_on, 3) if wall_on else 0.0,
+        "identical": identical,
+        "executed": int(eng_stats.executed),
+        "folded": folded,
+        "profiles_built": built,
+        "fold_ratio": round(folded / built, 3) if built else 0.0,
+        "profile_paths": {
+            k: int(profile[k])
+            for k in ("closed_form", "hybrid", "delegated")
+        },
+    }
+    _BLOCK["rows"][exp_id] = row
+    record_block("batch", _BLOCK)
+
+
+def test_batch_speedup_floor():
+    """The acceptance bar: >= 2x wall reduction on at least MIN_FAST
+    sweep-bound rows, with every row bit-identical."""
+    rows = _BLOCK["rows"]
+    assert len(rows) == len(ROWS), "run the per-row A/B tests first"
+    assert all(r["identical"] for r in rows.values())
+    fast = [e for e, r in rows.items() if r["speedup"] >= 2.0]
+    _BLOCK["fast_rows"] = sorted(fast)
+    _BLOCK["min_fast"] = MIN_FAST
+    record_block("batch", _BLOCK)
+    assert len(fast) >= MIN_FAST, (
+        f"only {fast} reached 2x; speedups: "
+        f"{ {e: r['speedup'] for e, r in rows.items()} }"
+    )

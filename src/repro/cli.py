@@ -324,6 +324,29 @@ def _print_engine_summary(engine) -> None:
     )
 
 
+def _store_report_artifact(text: str, args) -> None:
+    """Mirror the markdown report into the store's artifact table when
+    ``REPRO_STORE_DSN`` is set, and append a ledger row carrying its
+    sha so ``netsparse store history`` points at the report a run
+    produced.  Best-effort: a broken store never fails the report."""
+    from repro.store import store_from_env
+
+    try:
+        store = store_from_env()
+        if store is None:
+            return
+        sha = store.put_artifact(
+            text.encode("utf-8"), kind="report",
+            name=os.path.basename(args.output),
+            meta={"scale": args.scale,
+                  "experiments": args.only if args.only else "all"})
+        store.record_run(sha, source="report", experiment="report",
+                         meta={"scale_name": args.scale})
+        print(f"stored report artifact {sha[:12]}")
+    except Exception as exc:
+        print(f"store upload skipped: {exc}", file=sys.stderr)
+
+
 def _cache_main(args) -> int:
     from repro.parallel import ResultCache
 
@@ -763,6 +786,7 @@ def _main(argv=None) -> int:
         with open(args.output, "w") as fh:
             fh.write(text)
         print(f"wrote {args.output}")
+        _store_report_artifact(text, args)
         _print_engine_summary(engine)
         return 0
 

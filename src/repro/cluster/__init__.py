@@ -11,7 +11,12 @@
 """
 
 from repro.results import CommResult
-from repro.cluster.model import build_cluster_topology, simulate_netsparse
+from repro.cluster.model import (
+    batch_stats,
+    build_cluster_topology,
+    reset_batch_state,
+    simulate_netsparse,
+)
 # Submodule (not package-attribute) imports: repro.baselines also imports
 # repro.cluster.results, and attribute imports would break whichever
 # package is entered second.
@@ -26,7 +31,9 @@ from repro.cluster.execute import (
 
 __all__ = [
     "CommResult",
+    "batch_stats",
     "build_cluster_topology",
+    "reset_batch_state",
     "distributed_sddmm",
     "distributed_spmm",
     "distributed_spmv",

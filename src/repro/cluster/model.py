@@ -25,7 +25,12 @@ downscaling documented in DESIGN.md.
 
 from __future__ import annotations
 
-from collections import deque
+import itertools
+import os
+import pickle
+import threading
+import weakref
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -33,9 +38,9 @@ import numpy as np
 
 from repro import telemetry
 from repro.config import NetSparseConfig
-from repro.core import kernels
-from repro.core.concat import ConcatStats, window_concat
-from repro.core.filtering import filter_and_coalesce
+from repro.core import batchmode, kernels, reusedist
+from repro.core.concat import ConcatStats, window_concat, window_concat_totals
+from repro.core.filtering import filter_and_coalesce, first_occurrence_positions
 from repro.core.pcache import PropertyCache, n_sets_for
 from repro.core.pcache_fast import delayed_cache_hits
 from repro.core.rig import rig_generation_time
@@ -43,7 +48,148 @@ from repro.results import CommResult
 from repro.network.topology import Dragonfly, HyperX, LeafSpine, Topology
 from repro.partition import OneDPartition, cached_partition
 
-__all__ = ["build_cluster_topology", "simulate_netsparse", "NetSparseKnobs"]
+__all__ = [
+    "batch_stats",
+    "build_cluster_topology",
+    "reset_batch_state",
+    "simulate_netsparse",
+    "NetSparseKnobs",
+]
+
+
+# -- batch-mode logical memos ------------------------------------------
+#
+# With REPRO_BATCH enabled, sweep evaluation becomes single-pass: every
+# stage output that is a pure function of *logical* inputs (which
+# partition, which per-node clamped batch size, which cache geometry)
+# is memoized under that logical key, so the planner's fused groups —
+# and sequential probe loops like the autotune ladder — stop replaying
+# identical stages.  Keys never hash array content: object identity
+# tokens stand in for the heavyweight inputs (matrix, partition,
+# topology, config), which the suite/trace/topology caches already
+# share across a sweep.  Everything here is bit-exact: a memo hit
+# returns the same arrays (or a pickled copy) the miss path computed.
+
+_MEMO_LOCK = threading.RLock()
+_MISS = object()
+
+
+class _BoundedMemo:
+    """FIFO-bounded memo with approximate byte accounting."""
+
+    def __init__(self, budget_bytes: int):
+        self.budget = int(budget_bytes)
+        self.data: "OrderedDict" = OrderedDict()
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        with _MEMO_LOCK:
+            entry = self.data.get(key, _MISS)
+            if entry is _MISS:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return entry[0]
+
+    def put(self, key, value, nbytes: int) -> None:
+        nbytes = max(int(nbytes), 1)
+        if nbytes > self.budget:
+            return
+        with _MEMO_LOCK:
+            if key in self.data:
+                return
+            while self.bytes + nbytes > self.budget and self.data:
+                _, (_, old_bytes) = self.data.popitem(last=False)
+                self.bytes -= old_bytes
+            self.data[key] = (value, nbytes)
+            self.bytes += nbytes
+
+    def clear(self) -> None:
+        with _MEMO_LOCK:
+            self.data.clear()
+            self.bytes = 0
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict:
+        return {"entries": len(self.data), "bytes": self.bytes,
+                "hits": self.hits, "misses": self.misses}
+
+
+def _memo_budget_mb() -> int:
+    raw = os.environ.get("REPRO_BATCH_MEMO_MB", "").strip()
+    return int(raw) if raw else 256
+
+
+_B = _memo_budget_mb() * (1 << 20) // 8
+_ANCHORS = _BoundedMemo(_B)       # (part, node) -> first-occurrence anchor
+_FBASE = _BoundedMemo(_B)         # + window -> batch-invariant drop masks
+_MASKS = _BoundedMemo(_B)         # + clamped batch -> issued node stream
+_NIC_CONCAT = _BoundedMemo(_B // 4)   # + window -> (bytes, packets)
+_MERGES = _BoundedMemo(2 * _B)    # rack merge of member streams
+_PROFILES = _BoundedMemo(2 * _B)  # reuse-distance profile per merge
+_HITS = _BoundedMemo(_B)          # + geometry -> cache hit mask
+_SIMS = _BoundedMemo(_B // 2)     # whole-simulation result templates
+_RIGGEN = _BoundedMemo(_B // 8)   # scalar rig makespan per (nnz, params)
+_ALL_MEMOS = {
+    "anchors": _ANCHORS, "fbase": _FBASE, "masks": _MASKS,
+    "nic_concat": _NIC_CONCAT, "merges": _MERGES, "profiles": _PROFILES,
+    "hits": _HITS, "sims": _SIMS, "riggen": _RIGGEN,
+}
+
+#: merge_key -> how many distinct-geometry hit masks were requested for
+#: that stream.  A profile is only built on the second request: a
+#: geometry *sweep* amortizes the unique-sort, while a single-geometry
+#: workload (e.g. the autotune ladder, where every probe's stream is
+#: new) goes straight to the pinned replay kernel with zero overhead.
+_PROFILE_REQS: Dict[tuple, int] = {}
+
+#: (topology token, src, dst) -> route, since routes are static per
+#: topology and the fabric share loops look the same pairs up for
+#: every sweep point.
+_ROUTES: Dict[tuple, list] = {}
+
+_token_counter = itertools.count(1)
+_token_by_id: Dict[int, tuple] = {}
+
+
+def _obj_token(obj) -> Optional[int]:
+    """A stable int identity for a live object (``None`` if it cannot
+    be weak-referenced).  Tokens die with the object, so a recycled
+    ``id()`` can never resurrect a stale memo entry."""
+    key = id(obj)
+    with _MEMO_LOCK:
+        entry = _token_by_id.get(key)
+        if entry is not None and entry[1]() is obj:
+            return entry[0]
+        try:
+            ref = weakref.ref(
+                obj, lambda _r, key=key: _token_by_id.pop(key, None)
+            )
+        except TypeError:
+            return None
+        token = next(_token_counter)
+        _token_by_id[key] = (token, ref)
+        return token
+
+
+def reset_batch_state() -> None:
+    """Drop every batch-mode memo (tests and A/B benchmarks)."""
+    for memo in _ALL_MEMOS.values():
+        memo.clear()
+    with _MEMO_LOCK:
+        _PROFILE_REQS.clear()
+        _ROUTES.clear()
+    reusedist.reset_profile_stats()
+
+
+def batch_stats() -> dict:
+    """Memo + profile counters for telemetry and the bench block."""
+    out = {name: memo.stats() for name, memo in _ALL_MEMOS.items()}
+    out["profile"] = reusedist.profile_stats()
+    return out
 
 
 def build_cluster_topology(config: NetSparseConfig) -> Topology:
@@ -212,6 +358,26 @@ def _concat_stage_bytes(
     return byte_map, stats
 
 
+def _concat_stage_totals(
+    dests: np.ndarray,
+    payload: int,
+    config: NetSparseConfig,
+    window_prs: int,
+) -> Tuple[int, int]:
+    """``(wire bytes, packets)`` of one concatenation stage — the lean
+    batch-mode form for consumers that never look at individual
+    destinations (integer-exact; see
+    :func:`repro.core.concat.window_concat_totals`)."""
+    maxp = config.max_prs_per_packet(payload)
+    return window_concat_totals(
+        dests, maxp, window_prs, payload,
+        header_upper=config.header_upper,
+        header_concat=config.header_concat,
+        header_concat_solo=config.header_concat_solo,
+        header_pr=config.header_pr,
+    )
+
+
 def _pr_rate(config: NetSparseConfig, payload: int, issue_frac: float) -> float:
     """Aggregate PR rate through one node's concatenation point."""
     scan = config.n_client_units * config.snic_freq * max(issue_frac, 1e-3)
@@ -275,7 +441,6 @@ def simulate_netsparse(
     part = partition or cached_partition(matrix, n)
     if part.n_nodes != n:
         raise ValueError("partition node count must match the config")
-    traces = part.node_traces()
     if not 0.0 < scale:
         raise ValueError("scale must be positive")
     if rig_batch is None:
@@ -284,8 +449,37 @@ def simulate_netsparse(
     cmd_overhead = config.rig_cmd_overhead * scale
     pcache_bytes = int(config.pcache_bytes * scale)
 
+    # Batch mode: identity tokens key the logical memos.  The
+    # whole-simulation memos are skipped while telemetry is enabled so
+    # `netsparse profile` always sees every stage span/counter.
+    fastpath = batchmode.batch_enabled()
+    pt = tt = None
+    if fastpath:
+        pt = _obj_token(part)
+        tt = _obj_token(topo)
+        fastpath = pt is not None and tt is not None
+    sim_key = tmpl_base = tmpl_key = None
+    if fastpath and not telemetry.enabled():
+        mt = _obj_token(matrix)
+        ct = _obj_token(config)
+        if mt is not None and ct is not None:
+            sim_key = ("sim", mt, pt, tt, ct, knobs, k, rig_batch,
+                       repr(float(scale)))
+            blob = _SIMS.get(sim_key)
+            if blob is not None:
+                return pickle.loads(blob)
+            # Template key: ``rig_batch`` is deliberately absent.  Two
+            # probes whose *clamped per-node* batches (bkeys, appended
+            # after stage 1) coincide share all traffic stages; only
+            # the PR-generation makespan sees the raw batch, and that
+            # is overlaid per probe.
+            tmpl_base = ("sim2", mt, pt, tt, ct, knobs, k,
+                         repr(float(scale)))
+    traces = part.node_traces()
+
     # ---- stage 1: per-node filtering/coalescing ----------------------
     node_streams = []            # (pos, idx, owner) of issued PRs per node
+    bkeys: List[Optional[int]] = []  # canonical per-node batch (memo key)
     pr_gen_time = np.zeros(n)
     useful_payload = np.zeros(n)
     n_candidates = n_issued = n_filtered = n_coalesced = 0
@@ -300,30 +494,113 @@ def simulate_netsparse(
                 remote_frac = remote_idx.size / max(tr.n_nonzeros, 1)
                 batch_remote = max(int(rig_batch * remote_frac), 1)
                 window = max(int(knobs.inflight_frac * remote_idx.size), 1)
-                fr = filter_and_coalesce(
-                    remote_idx,
-                    n_units=config.n_client_units,
-                    batch_size=batch_remote,
-                    inflight_window=window,
-                    enable_filtering=feats.filtering,
-                    enable_coalescing=feats.coalescing,
+                # Batches >= the stream put every idx in unit 0, so the
+                # clamped value is this node's canonical batch identity.
+                bkey = min(batch_remote, int(remote_idx.size))
+                mask_key = (
+                    ("mask", pt, node, config.n_client_units,
+                     feats.filtering, feats.coalescing,
+                     knobs.inflight_frac, bkey)
+                    if fastpath else None
                 )
-                mask = fr.issued_mask
-                n_filtered += fr.n_filtered
-                n_coalesced += fr.n_coalesced
+                cached = _MASKS.get(mask_key) if mask_key else None
+                if cached is None and fastpath:
+                    # Only coalescing depends on the batch size (via
+                    # the issuing unit); the filter drops and the
+                    # coalesce-eligible positions are batch-invariant
+                    # per node, so a batch sweep recomputes two
+                    # vectorized compares instead of the whole filter.
+                    base_key = ("fbase", pt, node, knobs.inflight_frac,
+                                feats.filtering, feats.coalescing)
+                    base = _FBASE.get(base_key)
+                    if base is None:
+                        anchor_key = ("fp", pt, node)
+                        fp = _ANCHORS.get(anchor_key)
+                        if fp is None:
+                            fp = first_occurrence_positions(remote_idx)
+                            _ANCHORS.put(anchor_key, fp, fp.nbytes)
+                        pos = np.arange(remote_idx.size, dtype=np.int64)
+                        is_dup = pos != fp
+                        completed = fp <= pos - window
+                        drop_filter = (
+                            is_dup & completed if feats.filtering
+                            else np.zeros(remote_idx.size, bool)
+                        )
+                        eligible = (
+                            is_dup & ~completed if feats.coalescing
+                            else np.zeros(remote_idx.size, bool)
+                        )
+                        base = (drop_filter, eligible, fp)
+                        _FBASE.put(base_key, base,
+                                   drop_filter.nbytes * 2 + fp.nbytes)
+                    drop_filter, eligible, fp = base
+                    pos = np.arange(remote_idx.size, dtype=np.int64)
+                    unit_of = (pos // batch_remote) % config.n_client_units
+                    drop_coalesce = eligible & (unit_of == unit_of[fp])
+                    mask = ~(drop_filter | drop_coalesce)
+                    cached = (
+                        remote_pos[mask], remote_idx[mask],
+                        remote_owner[mask], int(drop_filter.sum()),
+                        int(drop_coalesce.sum()), int(mask.sum()),
+                    )
+                    if mask_key:
+                        _MASKS.put(
+                            mask_key, cached,
+                            sum(a.nbytes for a in cached[:3]) + 24,
+                        )
+                elif cached is None:
+                    fr = filter_and_coalesce(
+                        remote_idx,
+                        n_units=config.n_client_units,
+                        batch_size=batch_remote,
+                        inflight_window=window,
+                        enable_filtering=feats.filtering,
+                        enable_coalescing=feats.coalescing,
+                    )
+                    mask = fr.issued_mask
+                    cached = (
+                        remote_pos[mask], remote_idx[mask],
+                        remote_owner[mask], fr.n_filtered, fr.n_coalesced,
+                        fr.n_issued,
+                    )
+                stream = cached[:3]
+                n_filtered += cached[3]
+                n_coalesced += cached[4]
+                n_issued += cached[5]
             else:
-                mask = np.ones(remote_idx.size, dtype=bool)
-            node_streams.append(
-                (remote_pos[mask], remote_idx[mask], remote_owner[mask])
-            )
-            n_issued += int(mask.sum())
-            pr_gen_time[node] = rig_generation_time(
-                tr.n_nonzeros,
-                config.n_client_units,
-                rig_batch,
-                freq=config.snic_freq,
-                cmd_overhead=cmd_overhead,
-            )
+                bkey = None
+                stream = (remote_pos.copy(), remote_idx.copy(),
+                          remote_owner.copy())
+                n_issued += int(remote_idx.size)
+            bkeys.append(bkey)
+            node_streams.append(stream)
+            if fastpath:
+                # The rig makespan is a pure scalar function of these
+                # five numbers — nodes with equal nonzero counts (and
+                # every sweep point that leaves the batch alone) share
+                # one evaluation of the max-plus scan.
+                rg_key = ("rg", tr.n_nonzeros, config.n_client_units,
+                          rig_batch, repr(config.snic_freq),
+                          repr(cmd_overhead))
+                rg = _RIGGEN.get(rg_key)
+                if rg is None:
+                    rg = rig_generation_time(
+                        tr.n_nonzeros,
+                        config.n_client_units,
+                        rig_batch,
+                        freq=config.snic_freq,
+                        cmd_overhead=cmd_overhead,
+                    )
+                    _RIGGEN.put(rg_key, rg, 64)
+                pr_gen_time[node] = rg
+            else:
+                pr_gen_time[node] = rig_generation_time(
+                    tr.n_nonzeros,
+                    config.n_client_units,
+                    rig_batch,
+                    freq=config.snic_freq,
+                    cmd_overhead=cmd_overhead,
+                )
             # Windowed (sharded) traces drop their materialized windows
             # once their selections are copied out, keeping the resident
             # set bounded by one node's trace.
@@ -336,6 +613,36 @@ def simulate_netsparse(
     telemetry.count("cluster.filter.coalesced", n_coalesced,
                     matrix=matrix.name)
     telemetry.count("cluster.filter.issued", n_issued, matrix=matrix.name)
+
+    if tmpl_base is not None:
+        tmpl_key = tmpl_base + (tuple(bkeys),)
+        blob = _SIMS.get(tmpl_key)
+        if blob is not None:
+            # Identical traffic under a different raw batch: overlay
+            # the freshly computed PR-generation makespan on the
+            # template and rebuild the stage-4 maxima with the exact
+            # expressions of the timing stage.
+            result = pickle.loads(blob)
+            st = result.extras["stage_times"]
+            per_node_time = np.maximum.reduce(
+                [pr_gen_time, st["up"], st["down"], st["pcie"],
+                 st["server"], st["concat"]]
+            )
+            fabric_time = result.extras["fabric_time"]
+            if feats.concat_nic:
+                drain = config.concat_delay_cycles_nic / config.snic_freq
+            else:
+                drain = 0.0
+            rtt = topo.rtt(0, n - 1) * scale
+            result.pr_gen_time = pr_gen_time
+            st["pr_gen"] = pr_gen_time
+            result.per_node_time = per_node_time
+            result.total_time = (
+                max(float(per_node_time.max()), fabric_time)
+                + rtt + drain * scale
+            )
+            result.extras["rig_batch"] = rig_batch
+            return result
 
     issue_frac = n_issued / max(n_candidates, 1)
     w_nic, w_sw = _concat_windows(config, payload, issue_frac)
@@ -358,28 +665,105 @@ def simulate_netsparse(
     miss_records = []            # surviving reads, to be served by owners
 
     def _route_fabric(src: int, dst: int, nbytes: float) -> None:
-        route = topo.route(src, dst)
-        for lid in route[1:-1]:
+        if tt is not None:
+            rk = (tt, src, dst)
+            hop = _ROUTES.get(rk)
+            if hop is None:
+                hop = topo.route(src, dst)[1:-1]
+                _ROUTES[rk] = hop
+        else:
+            hop = topo.route(src, dst)[1:-1]
+        for lid in hop:
             fabric_loads[lid] += nbytes
 
     with telemetry.span("cluster.stage.cache", matrix=matrix.name, k=k):
         rack_list = sorted(racks.items())
-        merged_list = [
-            _merge_rack_streams([node_streams[m] for m in members], members)
-            for rack, members in rack_list
-        ]
+        merge_keys = []
+        merged_list = []
+        for rack, members in rack_list:
+            merge_key = (
+                ("merge", pt, tt, rack, config.n_client_units,
+                 feats.rig_offload, feats.filtering, feats.coalescing,
+                 knobs.inflight_frac, tuple(bkeys[m] for m in members))
+                if fastpath else None
+            )
+            merged = _MERGES.get(merge_key) if merge_key else None
+            if merged is None:
+                merged = _merge_rack_streams(
+                    [node_streams[m] for m in members], members
+                )
+                if merge_key:
+                    _MERGES.put(merge_key, merged,
+                                sum(a.nbytes for a in merged.values()))
+            merge_keys.append(merge_key)
+            merged_list.append(merged)
         # Property Cache at the ToR middle pipes — all racks' replays
         # are independent, so they dispatch as one batch (the ``pool``
-        # backend fans them across worker processes).
+        # backend fans them across worker processes).  In batch mode
+        # each merged stream's reuse-distance profile scores the
+        # geometry instead (bit-identical; golden-tested), and both the
+        # profile and the scored hit mask are memoized so a knob sweep
+        # replays nothing.
         if feats.property_cache:
-            rack_hits = _rack_cache_hits(
-                [m["idx"] for m in merged_list], config, pcache_bytes,
-                payload, knobs,
-            )
+            if fastpath and kernels.is_fast() and not kernels.is_pool():
+                n_sets = n_sets_for(
+                    pcache_bytes, config.pcache_ways, max(payload, 1),
+                    config.pcache_segments, config.pcache_min_line,
+                )
+                rack_hits = []
+                for merge_key, merged in zip(merge_keys, merged_list):
+                    m_idx = merged["idx"]
+                    if m_idx.size == 0:
+                        rack_hits.append(np.zeros(0, dtype=bool))
+                        continue
+                    delay = max(
+                        int(knobs.cache_inflight_frac * m_idx.size), 1
+                    )
+                    hits_key = (
+                        ("hits", merge_key, n_sets, config.pcache_ways,
+                         delay)
+                        if merge_key else None
+                    )
+                    hits = _HITS.get(hits_key) if hits_key else None
+                    if hits is None:
+                        prof = (
+                            _PROFILES.get(merge_key) if merge_key else None
+                        )
+                        if prof is None and merge_key:
+                            with _MEMO_LOCK:
+                                reqs = _PROFILE_REQS.get(merge_key, 0) + 1
+                                _PROFILE_REQS[merge_key] = reqs
+                            if reqs >= 2:
+                                prof = reusedist.build_profile(m_idx)
+                                _PROFILES.put(merge_key, prof,
+                                              m_idx.nbytes * 4)
+                        if prof is not None:
+                            hits = prof.score(n_sets, config.pcache_ways,
+                                              delay, "lru")
+                        else:
+                            # First (and possibly only) geometry asked
+                            # of this stream: the pinned replay kernel
+                            # is cheaper than profiling for a single
+                            # point, and the masks agree bit-for-bit.
+                            hits = delayed_cache_hits(
+                                m_idx, n_sets, config.pcache_ways, delay,
+                                policy="lru",
+                            )[0]
+                        if hits_key:
+                            _HITS.put(hits_key, hits, hits.nbytes)
+                    rack_hits.append(hits)
+            else:
+                rack_hits = _rack_cache_hits(
+                    [m["idx"] for m in merged_list], config, pcache_bytes,
+                    payload, knobs,
+                )
         else:
             rack_hits = [
                 np.zeros(m["idx"].size, dtype=bool) for m in merged_list
             ]
+        nic_maxp = config.max_prs_per_packet(0)
+        nic_headers = (config.header_upper, config.header_concat,
+                       config.header_concat_solo, config.header_pr)
         for (rack, members), merged, hits in zip(rack_list, merged_list,
                                                  rack_hits):
             m_src, m_pos = merged["src"], merged["pos"]
@@ -388,10 +772,29 @@ def simulate_netsparse(
             # NIC-stage read bytes (host -> ToR) per member node.
             for node in members:
                 pos, idx, owner = node_streams[node]
-                byte_map, stats = _concat_stage_bytes(owner, 0, config, w_nic)
-                up_bytes[node] += sum(byte_map.values())
+                nic_key = (
+                    ("nic", pt, node, config.n_client_units,
+                     feats.rig_offload, feats.filtering, feats.coalescing,
+                     knobs.inflight_frac, bkeys[node], w_nic, nic_maxp,
+                     nic_headers)
+                    if fastpath else None
+                )
+                nic_val = _NIC_CONCAT.get(nic_key) if nic_key else None
+                if nic_val is None:
+                    if fastpath:
+                        nic_val = _concat_stage_totals(
+                            owner, 0, config, w_nic
+                        )
+                    else:
+                        byte_map, stats = _concat_stage_bytes(
+                            owner, 0, config, w_nic
+                        )
+                        nic_val = (sum(byte_map.values()), stats.n_packets)
+                    if nic_key:
+                        _NIC_CONCAT.put(nic_key, nic_val, 64)
+                up_bytes[node] += nic_val[0]
                 if not feats.concat_switch:
-                    n_packets_total += stats.n_packets
+                    n_packets_total += nic_val[1]
 
             if feats.property_cache and m_idx.size:
                 cache_lookups += int(m_idx.size)
@@ -448,9 +851,15 @@ def simulate_netsparse(
     served_per_node = np.zeros(n, dtype=np.int64)
     resp_window_sw = w_sw if feats.concat_switch else 1
     with telemetry.span("cluster.stage.respond", matrix=matrix.name, k=k):
+        owner_rack = (
+            rack_of[all_owner] if fastpath and all_owner.size else None
+        )
         for rack, members in sorted(racks.items()):
             # Responses produced by owners in this rack, merged at its ToR.
-            sel = np.isin(all_owner, members)
+            if owner_rack is not None:
+                sel = owner_rack == rack
+            else:
+                sel = np.isin(all_owner, members)
             if not sel.any():
                 continue
             r_src, r_pos, r_owner = all_src[sel], all_pos[sel], all_owner[sel]
@@ -460,17 +869,38 @@ def simulate_netsparse(
             )
 
             # NIC-stage response bytes per owner.
-            for owner in members:
-                osel = r_owner == owner
-                if not osel.any():
-                    continue
-                served_per_node[owner] += int(osel.sum())
-                byte_map, stats = _concat_stage_bytes(
-                    r_src[osel], payload, config, w_nic
-                )
-                up_bytes[owner] += sum(byte_map.values())
-                if not feats.concat_switch:
-                    n_packets_total += stats.n_packets
+            if fastpath:
+                # One stable owner sort replaces the per-owner mask
+                # scans; within each owner the stream order (and hence
+                # every byte count) is unchanged.
+                oorder = np.argsort(r_owner, kind="stable")
+                ro = r_owner[oorder]
+                rs = r_src[oorder]
+                lo_b = np.searchsorted(ro, members, side="left")
+                hi_b = np.searchsorted(ro, members, side="right")
+                for owner, lo, hi in zip(members, lo_b.tolist(),
+                                         hi_b.tolist()):
+                    if hi <= lo:
+                        continue
+                    served_per_node[owner] += hi - lo
+                    nbytes, npkts = _concat_stage_totals(
+                        rs[lo:hi], payload, config, w_nic
+                    )
+                    up_bytes[owner] += nbytes
+                    if not feats.concat_switch:
+                        n_packets_total += npkts
+            else:
+                for owner in members:
+                    osel = r_owner == owner
+                    if not osel.any():
+                        continue
+                    served_per_node[owner] += int(osel.sum())
+                    byte_map, stats = _concat_stage_bytes(
+                        r_src[osel], payload, config, w_nic
+                    )
+                    up_bytes[owner] += sum(byte_map.values())
+                    if not feats.concat_switch:
+                        n_packets_total += stats.n_packets
 
             # Switch-stage response bytes toward each requester.
             byte_map, stats = _concat_stage_bytes(
@@ -527,7 +957,7 @@ def simulate_netsparse(
         telemetry.observe("concat.prs_per_packet",
                           n_issued / n_packets_total, matrix=matrix.name)
 
-    return CommResult(
+    result = CommResult(
         scheme="netsparse",
         matrix_name=matrix.name,
         k=k,
@@ -563,3 +993,12 @@ def simulate_netsparse(
             },
         },
     )
+    if sim_key is not None:
+        # Stored as pickled bytes: a memo hit deserializes a *fresh*
+        # result, so callers (fault injection, report post-processing)
+        # can mutate theirs without corrupting the template.
+        blob = pickle.dumps(result)
+        _SIMS.put(sim_key, blob, len(blob))
+        if tmpl_key is not None:
+            _SIMS.put(tmpl_key, blob, len(blob))
+    return result

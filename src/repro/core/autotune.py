@@ -35,18 +35,31 @@ class TuneResult:
 
 
 def tune_rig_batch(
-    evaluate: Callable[[int], float],
+    evaluate: Optional[Callable[[int], float]] = None,
     ladder: Optional[Sequence[int]] = None,
     refine_steps: int = 2,
     min_batch: int = 256,
     max_batch: int = 4 * 1024 * 1024,
+    evaluate_many: Optional[
+        Callable[[Sequence[int]], Sequence[float]]
+    ] = None,
 ) -> TuneResult:
     """Search batch sizes minimizing ``evaluate(batch) -> time``.
 
     ``ladder`` defaults to powers of four from 1k to 1M (six probes —
     cheap enough to amortize over a long kernel).  ``refine_steps``
     rounds of neighbour probing (x/÷2) then polish the winner.
+
+    ``evaluate_many`` optionally evaluates a whole round of probes in
+    one call — the ladder first, then each refinement round's
+    neighbour pair — so a caller can route the round through
+    :func:`repro.parallel.engine.simulate_many` and let the batch
+    planner fuse it.  The probed batches, their order, and the result
+    are identical to the scalar path (each probe is still one
+    deterministic job); only call granularity changes.
     """
+    if evaluate is None and evaluate_many is None:
+        raise ValueError("provide evaluate or evaluate_many")
     if ladder is None:
         ladder = [1 << b for b in range(10, 21, 2)]   # 1k .. 1M
     ladder = sorted(set(int(b) for b in ladder))
@@ -55,18 +68,30 @@ def tune_rig_batch(
 
     probes: Dict[int, float] = {}
 
-    def probe(batch: int) -> float:
-        batch = int(min(max(batch, min_batch), max_batch))
-        if batch not in probes:
-            probes[batch] = evaluate(batch)
-        return probes[batch]
+    def probe_round(candidates: Sequence[int]) -> None:
+        todo = []
+        for batch in candidates:
+            batch = int(min(max(batch, min_batch), max_batch))
+            if batch not in probes and batch not in todo:
+                todo.append(batch)
+        if not todo:
+            return
+        if evaluate_many is not None:
+            times = list(evaluate_many(todo))
+            if len(times) != len(todo):
+                raise ValueError(
+                    "evaluate_many returned %d results for %d probes"
+                    % (len(times), len(todo))
+                )
+            probes.update(zip(todo, times))
+        else:
+            for batch in todo:
+                probes[batch] = evaluate(batch)
 
-    for batch in ladder:
-        probe(batch)
+    probe_round(ladder)
     best = min(probes, key=probes.get)
     for _ in range(refine_steps):
-        for candidate in (best // 2, best * 2):
-            probe(candidate)
+        probe_round((best // 2, best * 2))
         new_best = min(probes, key=probes.get)
         if new_best == best:
             break

@@ -1,0 +1,52 @@
+"""The ``REPRO_BATCH`` switch: single-pass sweep evaluation on/off.
+
+Mirrors the :mod:`repro.core.kernels` backend switch: the environment
+variable picks the initial mode, tests flip it with
+:func:`use_batch`, and — exactly like ``REPRO_KERNELS`` — the mode is
+**not** part of any job digest, because both modes are bit-identical by
+construction (enforced by the golden-equivalence suites in
+``tests/test_reusedist.py`` and ``tests/test_batch_planner.py``).
+
+When enabled (the default), the cluster model reuses logically-keyed
+intermediate results across a sweep (filter anchors, merged rack
+streams, reuse-distance profiles, whole-simulation templates) and the
+execution engine groups compatible jobs into fused batches.  When
+disabled (``REPRO_BATCH=0``) every job replays every stage from
+scratch — the legacy path, kept alive by a CI matrix leg.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+__all__ = ["batch_enabled", "set_batch_enabled", "use_batch"]
+
+
+def _from_env() -> bool:
+    return os.environ.get("REPRO_BATCH", "1").strip() != "0"
+
+
+_enabled = _from_env()
+
+
+def batch_enabled() -> bool:
+    """Whether batch-aware (single-pass) sweep evaluation is active."""
+    return _enabled
+
+
+def set_batch_enabled(flag: bool) -> bool:
+    """Set the mode; returns the previous value."""
+    global _enabled
+    previous, _enabled = _enabled, bool(flag)
+    return previous
+
+
+@contextmanager
+def use_batch(flag: bool):
+    """Temporarily force the mode (tests, the A/B benchmark)."""
+    previous = set_batch_enabled(flag)
+    try:
+        yield
+    finally:
+        set_batch_enabled(previous)

@@ -33,6 +33,7 @@ __all__ = [
     "merge_concat_stats",
     "window_concat",
     "window_concat_stream",
+    "window_concat_totals",
 ]
 
 
@@ -195,6 +196,56 @@ def _window_concat_fast(
         per_dest_packets={int(d): int(pkt_sum[d]) for d in dest_ids},
         per_dest_solo={int(d): int(solo_sum[d]) for d in dest_ids},
     )
+
+
+def window_concat_totals(
+    dests: np.ndarray,
+    max_prs_per_packet: int,
+    window_prs: int,
+    pr_payload: int,
+    header_upper: int = 50,
+    header_concat: int = 14,
+    header_concat_solo: int = 10,
+    header_pr: int = 18,
+) -> Tuple[int, int]:
+    """``(total wire bytes, n_packets)`` of one concatenation stage.
+
+    Equals ``sum(window_concat(...).wire_bytes_per_dest(...).values())``
+    and ``.n_packets`` without materializing the per-destination maps:
+    the per-destination byte formula is linear in the per-destination
+    packet/solo/PR counts, so summing it over destinations only needs
+    the stream totals.  All quantities are integer counts, making the
+    collapse an exact identity (golden-tested against the full path).
+    """
+    dests = np.asarray(dests, dtype=np.int64)
+    n = dests.size
+    if max_prs_per_packet < 1:
+        raise ValueError("max_prs_per_packet must be >= 1")
+    if n == 0:
+        return 0, 0
+    window_prs = max(int(window_prs), 1)
+    window_id = np.arange(n, dtype=np.int64) // window_prs
+    d_span = int(dests.max()) + 1
+    n_windows = int(window_id[-1]) + 1
+    keyspace = n_windows * d_span
+    key = window_id * d_span + dests
+    if keyspace <= max(4 * n, 1 << 16):
+        counts = np.bincount(key, minlength=keyspace)
+        counts = counts[counts > 0]
+    else:
+        _, counts = np.unique(key, return_counts=True)
+    full, rem = np.divmod(counts, max_prs_per_packet)
+    n_packets = int(full.sum()) + int((rem > 0).sum())
+    if max_prs_per_packet == 1:
+        n_solo = n
+    else:
+        n_solo = int((rem == 1).sum())
+    total = (
+        (n_packets - n_solo) * (header_upper + header_concat)
+        + n_solo * (header_upper + header_concat_solo)
+        + n * (header_pr + pr_payload)
+    )
+    return total, n_packets
 
 
 def merge_concat_stats(parts: List[ConcatStats]) -> ConcatStats:

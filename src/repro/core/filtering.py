@@ -26,10 +26,12 @@ to the client units, which fixes each idx's issuing unit.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
-__all__ = ["FilterResult", "filter_and_coalesce"]
+__all__ = ["FilterResult", "filter_and_coalesce",
+           "first_occurrence_positions"]
 
 
 @dataclass
@@ -55,6 +57,26 @@ class FilterResult:
         return self.n_filtered + self.n_coalesced
 
 
+def first_occurrence_positions(idxs: np.ndarray) -> np.ndarray:
+    """Position of the first occurrence of each element's value.
+
+    This is the *filter anchor*: the only part of
+    :func:`filter_and_coalesce` that needs the ``np.unique`` sort, and
+    it depends on the idx stream alone — not on the batch size, unit
+    count or in-flight window.  A sweep over those knobs can therefore
+    compute it once per trace and pass it back via ``first_pos``.
+    """
+    idxs = np.asarray(idxs)
+    n = idxs.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    pos = np.arange(n, dtype=np.int64)
+    uniq, inverse = np.unique(idxs, return_inverse=True)
+    first_pos = np.full(uniq.size, n, dtype=np.int64)
+    np.minimum.at(first_pos, inverse, pos)
+    return first_pos[inverse]
+
+
 def filter_and_coalesce(
     idxs: np.ndarray,
     n_units: int = 16,
@@ -62,6 +84,7 @@ def filter_and_coalesce(
     inflight_window: int = 4096,
     enable_filtering: bool = True,
     enable_coalescing: bool = True,
+    first_pos: Optional[np.ndarray] = None,
 ) -> FilterResult:
     """Apply Idx-Filter + Pending-PR-Table semantics to an idx stream.
 
@@ -75,6 +98,11 @@ def filter_and_coalesce(
     that are simultaneously in flight from *other* units escape both
     structures — exactly the cross-unit redundancy the paper accepts to
     avoid synchronization.
+
+    ``first_pos`` optionally supplies a precomputed
+    :func:`first_occurrence_positions` anchor for ``idxs`` (it must
+    have been computed from exactly this stream); the result is
+    bit-identical with or without it.
     """
     idxs = np.asarray(idxs)
     n = idxs.size
@@ -91,10 +119,12 @@ def filter_and_coalesce(
             n_filtered=0, n_coalesced=0,
         )
 
-    uniq, inverse = np.unique(idxs, return_inverse=True)
-    first_pos = np.full(uniq.size, n, dtype=np.int64)
-    np.minimum.at(first_pos, inverse, pos)
-    fp = first_pos[inverse]
+    if first_pos is not None:
+        fp = np.asarray(first_pos)
+        if fp.size != n:
+            raise ValueError("first_pos must match the idx stream length")
+    else:
+        fp = first_occurrence_positions(idxs)
     is_duplicate = pos != fp
     completed = fp <= pos - inflight_window
     same_unit = unit_of == unit_of[fp]

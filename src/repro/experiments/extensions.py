@@ -179,8 +179,19 @@ def run_autotune(scale: str = "small", k: int = 16) -> ExpTable:
             return simulate("netsparse", name, k, config=cfg,
                             scale_name=scale, rig_batch=batch).total_time
 
+        def evaluate_many(batches):
+            # Whole probe rounds go through the engine as one batch, so
+            # the planner fuses them into a single-pass group (and a
+            # parallel engine fans independent probes out).
+            jobs = [
+                SimJob(scheme="netsparse", matrix=name, k=k, config=cfg,
+                       scale_name=scale, rig_batch=batch)
+                for batch in batches
+            ]
+            return [r.total_time for r in simulate_many(jobs)]
+
         static_time = evaluate(static_batch)
-        tuned = tune_rig_batch(evaluate)
+        tuned = tune_rig_batch(evaluate, evaluate_many=evaluate_many)
         rows.append([
             name, static_batch, tuned.best_batch,
             round(static_time / tuned.best_time, 3),

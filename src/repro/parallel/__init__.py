@@ -21,6 +21,7 @@ configures the process-global default engine; library callers that do
 nothing get the historical behavior (serial, uncached).
 """
 
+from repro.parallel.batch import BatchPlan, batch_enabled, plan_batches
 from repro.parallel.cache import (
     ENV_STORE_DSN,
     ResultCache,
@@ -40,6 +41,7 @@ from repro.parallel.engine import (
 from repro.parallel.jobs import CODE_SALT, SimJob, execute_job
 
 __all__ = [
+    "BatchPlan",
     "CODE_SALT",
     "ENV_STORE_DSN",
     "EngineStats",
@@ -47,11 +49,13 @@ __all__ = [
     "JobHandle",
     "ResultCache",
     "SimJob",
+    "batch_enabled",
     "configure_engine",
     "default_cache_dir",
     "engine_scope",
     "execute_job",
     "get_engine",
+    "plan_batches",
     "set_engine",
     "simulate",
     "simulate_many",

@@ -24,6 +24,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import telemetry
 from repro.config import NetSparseConfig
+from repro.core import reusedist
+from repro.core.batchmode import batch_enabled
+from repro.parallel.batch import execute_group, plan_batches
 from repro.parallel.cache import ResultCache
 from repro.parallel.jobs import SimJob, timed_execute
 
@@ -48,6 +51,7 @@ class EngineStats:
     memo_hits: int = 0       # answered from the in-process memo
     cache_hits: int = 0      # answered from the on-disk cache
     executed: int = 0        # actually simulated (cache misses)
+    batched: int = 0         # executed as a fused-group rider (REPRO_BATCH)
     sim_seconds: float = 0.0    # compute spent executing jobs
     saved_seconds: float = 0.0  # recorded compute answered from cache
 
@@ -61,7 +65,7 @@ class EngineStats:
         return (
             f"jobs={self.jobs} memo-hits={self.memo_hits} "
             f"cache-hits={self.cache_hits} executed={self.executed} "
-            f"hit-rate={self.hit_rate:.0%} "
+            f"batched={self.batched} hit-rate={self.hit_rate:.0%} "
             f"sim={self.sim_seconds:.1f}s saved={self.saved_seconds:.1f}s"
         )
 
@@ -72,6 +76,7 @@ class EngineStats:
             "memo_hits": self.memo_hits,
             "cache_hits": self.cache_hits,
             "executed": self.executed,
+            "batched": self.batched,
             "hit_rate": round(self.hit_rate, 4),
             "sim_seconds": round(self.sim_seconds, 4),
             "saved_seconds": round(self.saved_seconds, 4),
@@ -299,8 +304,16 @@ class ExecutionEngine:
         return self.run_jobs([job])[0]
 
     def _execute(self, pending: Dict[str, SimJob]) -> None:
+        if batch_enabled() and len(pending) > 1:
+            self._execute_batched(pending)
+            return
         items = list(pending.items())
         if self.jobs > 1 and len(items) > 1:
+            # Dispatch in trace order so one worker's chunk reuses the
+            # trace its previous job just built instead of every worker
+            # racing to build the same partition (the submission order
+            # is restored by digest when results are memoized).
+            items.sort(key=lambda kv: self._trace_key(kv[1]))
             if self._pool is None:
                 self._prewarm_traces([job for _, job in items])
             # Worker processes carry their own (disabled) telemetry —
@@ -311,17 +324,72 @@ class ExecutionEngine:
         else:
             outcomes = (self._timed_instrumented(job) for _, job in items)
         for (digest, job), (result, elapsed) in zip(items, outcomes):
-            with self._lock:
-                self._memo[digest] = result
-                self.stats.executed += 1
-                self.stats.sim_seconds += elapsed
-            telemetry.count("engine.executed")
-            telemetry.observe("engine.job.seconds", elapsed,
-                              scheme=job.scheme)
-            if self.cache is not None:
-                self.cache.put(digest, result, meta=job.describe(),
-                               elapsed=elapsed)
-            self._record_run(job, digest, "executed", elapsed=elapsed)
+            self._note_executed(digest, job, result, elapsed)
+
+    def _execute_batched(self, pending: Dict[str, SimJob]) -> None:
+        """Planner path: evaluate fused groups (``REPRO_BATCH=1``).
+
+        Each group's members run back-to-back — in one pool worker, or
+        consecutively on the serial path — so the cluster model's batch
+        memos fold their shared stages.  Results are identical to the
+        per-job path; only attribution (``source="batched"`` for group
+        riders) and wall time differ.
+        """
+        digest_of = {job: digest for digest, job in pending.items()}
+        plan = plan_batches(list(pending.values()))
+        telemetry.count("perf.batch.groups", plan.n_groups)
+        telemetry.count("perf.batch.folded", plan.n_folded)
+        prof0 = reusedist.profile_stats()
+        if self.jobs > 1 and plan.n_groups > 1:
+            if self._pool is None:
+                self._prewarm_traces(list(pending.values()))
+            pool = self._ensure_pool()
+            group_outcomes = pool.map(execute_group, plan.groups,
+                                      chunksize=1)
+        else:
+            group_outcomes = (
+                [self._timed_instrumented(job) for job in group]
+                for group in plan.groups
+            )
+        for group, outcomes in zip(plan.groups, group_outcomes):
+            for rank, (job, (result, elapsed)) in enumerate(
+                    zip(group, outcomes)):
+                source = "batched" if rank and len(group) > 1 else "executed"
+                self._note_executed(digest_of[job], job, result, elapsed,
+                                    source=source)
+        prof1 = reusedist.profile_stats()
+        build = prof1["build_seconds"] - prof0["build_seconds"]
+        score = prof1["score_seconds"] - prof0["score_seconds"]
+        if build or score:
+            telemetry.observe("perf.batch.profile.build_seconds", build)
+            telemetry.observe("perf.batch.profile.score_seconds", score)
+
+    def _note_executed(self, digest: str, job: SimJob, result,
+                       elapsed: float, source: str = "executed") -> None:
+        with self._lock:
+            self._memo[digest] = result
+            self.stats.executed += 1
+            self.stats.sim_seconds += elapsed
+            if source == "batched":
+                self.stats.batched += 1
+        telemetry.count("engine.executed")
+        telemetry.observe("engine.job.seconds", elapsed, scheme=job.scheme)
+        if self.cache is not None:
+            self.cache.put(digest, result, meta=job.describe(),
+                           elapsed=elapsed)
+        self._record_run(job, digest, source, elapsed=elapsed)
+
+    @staticmethod
+    def _trace_key(job: SimJob) -> tuple:
+        """The (partition, trace) identity a job draws from the
+        :class:`~repro.partition.tracecache.TraceCache`."""
+        kind = (
+            "nnz"
+            if job.scheme == "netsparse" and job.partition == "nnz"
+            else "rows"
+        )
+        return (job.matrix, job.scale_name, job.seed,
+                job.config.n_nodes, kind)
 
     @staticmethod
     def _prewarm_traces(jobs: Sequence[SimJob]) -> None:
@@ -336,20 +404,14 @@ class ExecutionEngine:
         trace_cache = get_trace_cache()
         seen = set()
         for job in jobs:
-            kind = (
-                "nnz"
-                if job.scheme == "netsparse" and job.partition == "nnz"
-                else "rows"
-            )
-            key = (job.matrix, job.scale_name, job.seed,
-                   job.config.n_nodes, kind)
+            key = ExecutionEngine._trace_key(job)
             if key in seen:
                 continue
             if len(seen) >= trace_cache.max_entries:
                 break
             seen.add(key)
             mat = load_benchmark(job.matrix, job.scale_name, seed=job.seed)
-            trace_cache.get_partition(mat, job.config.n_nodes, kind=kind)
+            trace_cache.get_partition(mat, job.config.n_nodes, kind=key[-1])
             telemetry.count("perf.trace_cache.prewarmed")
 
     @staticmethod

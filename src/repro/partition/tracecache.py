@@ -97,9 +97,15 @@ class TraceCache:
         self._spill_dir = spill_dir
         self._entries: "OrderedDict[Tuple, OneDPartition]" = OrderedDict()
         self._lock = threading.Lock()
+        #: Keys currently being built (misses whose construction is in
+        #: flight); a second miss on one of these is a *contended*
+        #: build — wasted duplicate work the engine's trace-ordered
+        #: dispatch exists to avoid.
+        self._building: set = set()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.contended_builds = 0
         self.spills = 0
         self.reloads = 0
 
@@ -136,24 +142,35 @@ class TraceCache:
                 telemetry.count("perf.trace_cache.hits", kind=key[2])
                 return part
             self.misses += 1
+            if key in self._building:
+                self.contended_builds += 1
+                telemetry.count("perf.trace_cache.contended_builds",
+                                kind=key[2])
+            self._building.add(key)
         telemetry.count("perf.trace_cache.misses", kind=key[2])
         # Build outside the lock: trace construction is the expensive
-        # part, and a duplicate build on a race is merely wasted work.
+        # part, and a duplicate build on a race is merely wasted work —
+        # counted above so dispatch-ordering regressions show up in
+        # telemetry instead of only in wall time.
         # build_partition dispatches on the matrix storage tier, so
         # sharded matrices come back with windowed (bounded) traces.
         from repro.partition.windowed import build_partition
 
-        part = build_partition(matrix, n_nodes, kind=kind,
-                               row_starts=row_starts)
-        part.node_traces()
-        with self._lock:
-            self._entries[key] = part
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.evictions += 1
-                telemetry.count("perf.trace_cache.evictions")
-            self._enforce_spill_budget(key)
+        try:
+            part = build_partition(matrix, n_nodes, kind=kind,
+                                   row_starts=row_starts)
+            part.node_traces()
+            with self._lock:
+                self._entries[key] = part
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+                    telemetry.count("perf.trace_cache.evictions")
+                self._enforce_spill_budget(key)
+        finally:
+            with self._lock:
+                self._building.discard(key)
         return part
 
     # -- spill tier ----------------------------------------------------
@@ -220,6 +237,7 @@ class TraceCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "contended_builds": self.contended_builds,
             "spills": self.spills,
             "reloads": self.reloads,
             "resident_nnz": self.resident_nnz(),

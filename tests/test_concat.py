@@ -5,7 +5,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.concat import DelayQueueConcatenator, window_concat
+from repro.core.concat import (
+    DelayQueueConcatenator,
+    window_concat,
+    window_concat_totals,
+)
 from repro.sim import Simulator
 
 
@@ -93,6 +97,54 @@ class TestWindowConcat:
         small = window_concat(arr, max_prs_per_packet=20, window_prs=4)
         large = window_concat(arr, max_prs_per_packet=20, window_prs=64)
         assert large.n_packets <= small.n_packets
+
+
+class TestWindowConcatTotals:
+    """window_concat_totals must equal full per-dest accounting exactly
+    — it is the batch fastpath behind the cluster model's NIC-concat
+    and respond stages, so any drift would break bit-identity."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        dests=st.lists(st.integers(0, 12), max_size=400),
+        maxp=st.integers(1, 40),
+        window=st.integers(1, 100),
+        payload=st.integers(0, 256),
+    )
+    def test_property_matches_per_dest_sum(self, dests, maxp, window,
+                                           payload):
+        arr = np.array(dests, dtype=np.int64)
+        stats = window_concat(arr, max_prs_per_packet=maxp,
+                              window_prs=window)
+        want = sum(stats.wire_bytes_per_dest(pr_payload=payload).values())
+        total, n_packets = window_concat_totals(
+            arr, max_prs_per_packet=maxp, window_prs=window,
+            pr_payload=payload)
+        assert total == want
+        assert n_packets == stats.n_packets
+
+    def test_custom_headers(self):
+        dests = np.array([0, 0, 1, 2, 2, 2])
+        stats = window_concat(dests, max_prs_per_packet=2, window_prs=6)
+        kwargs = dict(header_upper=40, header_concat=7,
+                      header_concat_solo=3, header_pr=11)
+        want = sum(stats.wire_bytes_per_dest(pr_payload=9,
+                                             **kwargs).values())
+        total, n_packets = window_concat_totals(
+            dests, max_prs_per_packet=2, window_prs=6, pr_payload=9,
+            **kwargs)
+        assert total == want
+        assert n_packets == stats.n_packets
+
+    def test_empty(self):
+        assert window_concat_totals(np.array([], dtype=np.int64),
+                                    max_prs_per_packet=5, window_prs=4,
+                                    pr_payload=8) == (0, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            window_concat_totals(np.array([0]), max_prs_per_packet=0,
+                                 window_prs=5, pr_payload=8)
 
 
 class TestDelayQueueConcatenator:

@@ -455,6 +455,7 @@ class TestTraceCache:
             "hits": 0,
             "misses": 1,
             "evictions": 0,
+            "contended_builds": 0,
             "spills": 0,
             "reloads": 0,
             "resident_nnz": part.resident_trace_nnz(),

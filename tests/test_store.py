@@ -386,3 +386,38 @@ def test_bench_compare_from_store_needs_dsn(monkeypatch, capsys):
     bc = _load_bench_compare()
     monkeypatch.delenv("REPRO_STORE_DSN", raising=False)
     assert bc.main(["--from-store"]) == 2
+
+
+def test_report_cli_streams_artifact_with_ledger_row(tmp_path, monkeypatch):
+    """`netsparse report` mirrors its markdown into the artifact table
+    and appends a ledger row carrying the artifact sha, so
+    `store history` points at the report a run produced."""
+    from repro.cli import main
+
+    dsn = f"sqlite:///{tmp_path}/report.sqlite3"
+    monkeypatch.setenv("REPRO_STORE_DSN", dsn)
+    out = tmp_path / "report.md"
+    assert main(["report", "--scale", "tiny", "--only", "table1",
+                 "-o", str(out), "--no-cache"]) == 0
+
+    store = open_store(dsn)
+    arts = store.latest_artifacts("report", limit=5)
+    assert len(arts) == 1
+    assert arts[0]["name"] == "report.md"
+    assert arts[0]["content"] == out.read_bytes()
+    assert arts[0]["meta"]["scale"] == "tiny"
+    rows = store.history(experiment="report", source="report")
+    assert len(rows) == 1
+    assert rows[0]["digest"] == arts[0]["sha256"]
+
+
+def test_report_cli_survives_broken_store(tmp_path, monkeypatch, capsys):
+    """A store that cannot open must not fail the report itself."""
+    from repro.cli import main
+
+    monkeypatch.setenv("REPRO_STORE_DSN", "bogus://nowhere")
+    out = tmp_path / "report.md"
+    assert main(["report", "--scale", "tiny", "--only", "table1",
+                 "-o", str(out), "--no-cache"]) == 0
+    assert out.exists()
+    assert "store upload skipped" in capsys.readouterr().err
